@@ -1,0 +1,310 @@
+package repro
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (DESIGN.md §4 maps each to its modules), plus
+// ablation benchmarks for the starred design choices of DESIGN.md §5.
+// Each experiment benchmark regenerates its table/figure on the quick
+// suite; `go test -bench . -benchmem` therefore re-runs the entire
+// evaluation. cmd/experiments runs the same experiments at full scale.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/bgsim"
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/learner"
+	"repro/internal/learner/assoc"
+	"repro/internal/meta"
+	"repro/internal/predictor"
+	"repro/internal/preprocess"
+	"repro/internal/reviser"
+)
+
+// benchSuite caches the quick suite across benchmarks (loading once keeps
+// per-benchmark iterations meaningful).
+var benchSuite *exp.Suite
+
+func suite(b *testing.B) *exp.Suite {
+	b.Helper()
+	if benchSuite == nil {
+		s, err := exp.QuickSuite(2008, 24)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSuite = s
+	}
+	return benchSuite
+}
+
+// benchReport runs one experiment per iteration and discards the render.
+func benchReport(b *testing.B, run func() (*exp.Report, error)) {
+	b.Helper()
+	s := suite(b) // load outside the timer
+	_ = s
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2LogDescription(b *testing.B)   { benchReport(b, suite(b).Table2) }
+func BenchmarkTable3Categories(b *testing.B)       { benchReport(b, suite(b).Table3) }
+func BenchmarkTable4FilterSweep(b *testing.B)      { benchReport(b, suite(b).Table4) }
+func BenchmarkTable5Overhead(b *testing.B)         { benchReport(b, suite(b).Table5) }
+func BenchmarkFigure4FatalsPerDay(b *testing.B)    { benchReport(b, suite(b).Figure4) }
+func BenchmarkFigure5InterArrivalCDF(b *testing.B) { benchReport(b, suite(b).Figure5) }
+func BenchmarkFigure7MetaVsBase(b *testing.B)      { benchReport(b, suite(b).Figure7) }
+func BenchmarkFigure8Venn(b *testing.B)            { benchReport(b, suite(b).Figure8) }
+func BenchmarkFigure9TrainingSize(b *testing.B)    { benchReport(b, suite(b).Figure9) }
+func BenchmarkFigure10RetrainFreq(b *testing.B)    { benchReport(b, suite(b).Figure10) }
+func BenchmarkFigure11Reviser(b *testing.B)        { benchReport(b, suite(b).Figure11) }
+func BenchmarkFigure12RuleChurn(b *testing.B)      { benchReport(b, suite(b).Figure12) }
+func BenchmarkFigure13WindowSweep(b *testing.B)    { benchReport(b, suite(b).Figure13) }
+
+// ---------------------------------------------------------------------------
+// Component micro-benchmarks: the per-stage costs behind Table 5.
+// ---------------------------------------------------------------------------
+
+func benchTagged(b *testing.B) []preprocess.TaggedEvent {
+	b.Helper()
+	return suite(b).Systems[0].Tagged
+}
+
+func BenchmarkGenerateLog(b *testing.B) {
+	cfg := bgsim.ANL(1).Scaled(4, 0.02)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := bgsim.NewGenerator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilter(b *testing.B) {
+	cfg := bgsim.ANL(1).Scaled(4, 0.1)
+	g, _ := bgsim.NewGenerator(cfg)
+	raw, err := g.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		preprocess.Filter{Threshold: 300}.Apply(raw)
+	}
+}
+
+func BenchmarkMetaTrain(b *testing.B) {
+	events := benchTagged(b)
+	p := learner.Params{WindowSec: 300}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := meta.New().Train(events, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictorObserve(b *testing.B) {
+	events := benchTagged(b)
+	p := learner.Params{WindowSec: 300}
+	report, err := meta.New().Train(events, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pr := predictor.New(report.Kept, p)
+		pr.ObserveAll(events)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5).
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationAprioriDepth measures mining cost and rule yield as the
+// antecedent cap grows: bodies beyond 3 items cost combinatorially more.
+func BenchmarkAblationAprioriDepth(b *testing.B) {
+	events := benchTagged(b)
+	p := learner.Params{WindowSec: 300}
+	for _, depth := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("maxBody=%d", depth), func(b *testing.B) {
+			l := assoc.New()
+			l.MaxBody = depth
+			rules := 0
+			for i := 0; i < b.N; i++ {
+				rs, err := l.Learn(events, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rules = len(rs)
+			}
+			b.ReportMetric(float64(rules), "rules")
+		})
+	}
+}
+
+// BenchmarkAblationMinROC sweeps the reviser threshold: lower values keep
+// more rules (more recall, more false alarms), higher values prune harder.
+func BenchmarkAblationMinROC(b *testing.B) {
+	s := suite(b)
+	sd := s.Systems[0]
+	for _, minROC := range []float64{0.5, 0.7, 0.9} {
+		b.Run(fmt.Sprintf("minROC=%.1f", minROC), func(b *testing.B) {
+			var kept int
+			var recall float64
+			for i := 0; i < b.N; i++ {
+				cfg := engine.Defaults()
+				cfg.InitialTrainWeeks = sd.Cfg.Weeks / 2
+				cfg.TrainWeeks = cfg.InitialTrainWeeks
+				ml := meta.New()
+				ml.Reviser = &reviser.Reviser{MinROC: minROC, KeepDistribution: true}
+				cfg.Meta = ml
+				res, err := engine.Run(sd.Tagged, sd.Cfg.Start, sd.Cfg.Weeks, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n := len(res.Retrainings); n > 0 {
+					kept = res.Retrainings[n-1].RepoSize
+				}
+				recall = res.Overall.Recall()
+			}
+			b.ReportMetric(float64(kept), "rules")
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}
+
+// BenchmarkAblationEnsembleOrder contrasts the full mixture-of-experts
+// with each expert alone: the ensemble's recall should dominate.
+func BenchmarkAblationEnsembleOrder(b *testing.B) {
+	s := suite(b)
+	sd := s.Systems[0]
+	assocK, statK, distK := learner.Association, learner.Statistical, learner.Distribution
+	variants := []struct {
+		name string
+		kind *learner.Kind
+	}{
+		{"ensemble", nil},
+		{"assoc-only", &assocK},
+		{"stat-only", &statK},
+		{"dist-only", &distK},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var recall float64
+			for i := 0; i < b.N; i++ {
+				cfg := engine.Defaults()
+				cfg.InitialTrainWeeks = sd.Cfg.Weeks / 2
+				cfg.TrainWeeks = cfg.InitialTrainWeeks
+				cfg.KindFilter = v.kind
+				res, err := engine.Run(sd.Tagged, sd.Cfg.Start, sd.Cfg.Weeks, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall = res.Overall.Recall()
+			}
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}
+
+// BenchmarkAblationFilterThreshold measures preprocessing output volume
+// across thresholds (the Table 4 knob) on a heavier raw log.
+func BenchmarkAblationFilterThreshold(b *testing.B) {
+	cfg := bgsim.ANL(1).Scaled(4, 0.2)
+	g, _ := bgsim.NewGenerator(cfg)
+	raw, err := g.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, th := range []int64{10, 60, 300} {
+		b.Run(fmt.Sprintf("threshold=%ds", th), func(b *testing.B) {
+			var kept int
+			for i := 0; i < b.N; i++ {
+				out, _ := preprocess.Filter{Threshold: th}.Apply(raw)
+				kept = out.Len()
+			}
+			b.ReportMetric(float64(kept), "events")
+		})
+	}
+}
+
+// BenchmarkAblationBayesExpert measures the effect of adding the optional
+// naive-Bayes indicator learner (paper future work: more base methods).
+func BenchmarkAblationBayesExpert(b *testing.B) {
+	s := suite(b)
+	sd := s.Systems[0]
+	for _, withBayes := range []bool{false, true} {
+		name := "core3"
+		if withBayes {
+			name = "core3+bayes"
+		}
+		b.Run(name, func(b *testing.B) {
+			var recall, precision float64
+			for i := 0; i < b.N; i++ {
+				cfg := engine.Defaults()
+				cfg.InitialTrainWeeks = sd.Cfg.Weeks / 2
+				cfg.TrainWeeks = cfg.InitialTrainWeeks
+				ml := meta.New()
+				if withBayes {
+					ml.AddBayes()
+				}
+				cfg.Meta = ml
+				res, err := engine.Run(sd.Tagged, sd.Cfg.Start, sd.Cfg.Weeks, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall = res.Overall.Recall()
+				precision = res.Overall.Precision()
+			}
+			b.ReportMetric(recall, "recall")
+			b.ReportMetric(precision, "precision")
+		})
+	}
+}
+
+// BenchmarkAblationAdaptiveWindow contrasts the fixed 300 s window with
+// the adaptive tuner (paper future work: window self-tuning).
+func BenchmarkAblationAdaptiveWindow(b *testing.B) {
+	s := suite(b)
+	sd := s.Systems[0]
+	for _, adaptive := range []bool{false, true} {
+		name := "fixed-300s"
+		if adaptive {
+			name = "adaptive"
+		}
+		b.Run(name, func(b *testing.B) {
+			var recall float64
+			for i := 0; i < b.N; i++ {
+				cfg := engine.Defaults()
+				cfg.InitialTrainWeeks = sd.Cfg.Weeks / 2
+				cfg.TrainWeeks = cfg.InitialTrainWeeks
+				if adaptive {
+					cfg.Tuner = engine.NewWindowTuner()
+				}
+				res, err := engine.Run(sd.Tagged, sd.Cfg.Start, sd.Cfg.Weeks, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall = res.Overall.Recall()
+			}
+			b.ReportMetric(recall, "recall")
+		})
+	}
+}

@@ -1,0 +1,108 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and writes them under an output directory: one rendered
+// text file and one CSV per experiment, plus a combined report.
+//
+// Usage:
+//
+//	experiments [-out results] [-seed 2008] [-quick] [-weeks N] [-scale F]
+//
+// The default is the full-scale ANL and SDSC presets (a few minutes and
+// a few GB of transient memory for the raw ANL log); -quick runs a
+// shortened, duplication-reduced configuration in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bgsim"
+	"repro/internal/exp"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	seed := flag.Uint64("seed", 2008, "generator seed")
+	quick := flag.Bool("quick", false, "run the reduced quick suite")
+	weeks := flag.Int("weeks", 0, "override log length in weeks (0 = preset)")
+	scale := flag.Float64("scale", -1, "override raw duplication scale (<0 = preset)")
+	flag.Parse()
+
+	if err := run(*out, *seed, *quick, *weeks, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, seed uint64, quick bool, weeks int, scale float64) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	cfgs := []*bgsim.Config{bgsim.ANL(seed), bgsim.SDSC(seed)}
+	if quick {
+		for i, cfg := range cfgs {
+			cfgs[i] = cfg.Scaled(24, 0.02)
+		}
+	}
+	for i, cfg := range cfgs {
+		w, s := cfg.Weeks, cfg.RawScale
+		if weeks > 0 {
+			w = weeks
+		}
+		if scale >= 0 {
+			s = scale
+		}
+		cfgs[i] = cfg.Scaled(w, s)
+	}
+
+	start := time.Now()
+	fmt.Printf("loading %d systems (seed %d)...\n", len(cfgs), seed)
+	suite, err := exp.NewSuite(cfgs...)
+	if err != nil {
+		return err
+	}
+	for _, sd := range suite.Systems {
+		fmt.Printf("  %s: %d raw events -> %d filtered, %d fatals\n",
+			sd.Cfg.Name, sd.RawCount, sd.Filtered.Len(), sd.Fatals)
+	}
+
+	combined, err := os.Create(filepath.Join(out, "all.txt"))
+	if err != nil {
+		return err
+	}
+	defer combined.Close()
+
+	reports, err := suite.All()
+	if err != nil {
+		return err
+	}
+	for _, r := range reports {
+		fmt.Printf("  %-8s %s\n", r.ID, r.Title)
+		if err := r.Render(combined); err != nil {
+			return err
+		}
+		txt, err := os.Create(filepath.Join(out, r.ID+".txt"))
+		if err != nil {
+			return err
+		}
+		if err := r.Render(txt); err != nil {
+			txt.Close()
+			return err
+		}
+		txt.Close()
+		csvf, err := os.Create(filepath.Join(out, r.ID+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := r.WriteCSV(csvf); err != nil {
+			csvf.Close()
+			return err
+		}
+		csvf.Close()
+	}
+	fmt.Printf("wrote %d experiments to %s in %v\n",
+		len(reports), out, time.Since(start).Round(time.Second))
+	return nil
+}

@@ -1,0 +1,100 @@
+// Command predict runs the dynamic meta-learning framework over a RAS log
+// (text codec) and prints weekly precision/recall plus the retraining
+// record.
+//
+// Usage:
+//
+//	predict [-in FILE] [-window 300] [-retrain 4] [-train 26] [-policy sliding|whole|static]
+//
+// Reads stdin when -in is omitted:
+//
+//	bgsim-gen -system sdsc -scale 0.05 | predict -train 26
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	in := flag.String("in", "", "input raw log file (default stdin)")
+	window := flag.Int64("window", 300, "prediction window W_P in seconds")
+	retrain := flag.Int("retrain", 4, "retraining window W_R in weeks")
+	train := flag.Int("train", 26, "initial/sliding training set in weeks")
+	policy := flag.String("policy", "sliding", "training policy: sliding, whole or static")
+	verbose := flag.Bool("v", false, "print every week instead of a summary")
+	flag.Parse()
+
+	if err := run(*in, *window, *retrain, *train, *policy, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, window int64, retrain, train int, policy string, verbose bool) error {
+	var src io.Reader = os.Stdin
+	name := "stdin"
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+		name = in
+	}
+	log, err := repro.ReadLog(src, name)
+	if err != nil {
+		return err
+	}
+	log.SortByTime()
+	events, stats := repro.Preprocess(log, 300)
+	fmt.Printf("log: %d raw events, %d after filtering (%.1f%% compression)\n",
+		stats.Input, stats.AfterSpatial, 100*stats.CompressionRate())
+
+	opts := repro.DefaultOptions()
+	opts.Params.WindowSec = window
+	opts.RetrainWeeks = retrain
+	opts.InitialTrainWeeks = train
+	opts.TrainWeeks = train
+	switch policy {
+	case "sliding":
+		opts.Policy = repro.SlidingPolicy
+	case "whole":
+		opts.Policy = repro.WholePolicy
+	case "static":
+		opts.Policy = repro.StaticPolicy
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+
+	weeks := log.Weeks()
+	res, err := repro.Run(events, log.Start(), weeks, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("test span: weeks %d-%d, %d fatals, %d warnings\n",
+		res.TestFrom, weeks-1, len(res.FatalTimes), len(res.Warnings))
+	fmt.Printf("overall: %s\n", res.Overall)
+	if verbose {
+		fmt.Printf("\n%-6s %-10s %-10s %-6s %-6s\n", "week", "precision", "recall", "TP", "FP")
+		for _, wp := range res.Weekly {
+			fmt.Printf("%-6d %-10.3f %-10.3f %-6d %-6d\n",
+				wp.Week, wp.Precision(), wp.Recall(), wp.TP, wp.FP)
+		}
+	}
+	fmt.Printf("\nretrainings: %d (rule matching %v total)\n",
+		len(res.Retrainings), res.MatchDuration)
+	for _, rt := range res.Retrainings {
+		fmt.Printf("  week %3d: %5d train events, repo %3d rules "+
+			"(unchanged %d, +%d, -%d meta, -%d reviser) in %v\n",
+			rt.Week, rt.TrainEvents, rt.RepoSize, rt.Churn.Unchanged,
+			rt.Churn.Added, rt.Churn.RemovedByMeta, rt.Churn.RemovedByReviser, rt.Total)
+	}
+	return nil
+}

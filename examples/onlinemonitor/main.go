@@ -1,0 +1,110 @@
+// Onlinemonitor: the framework as a streaming daemon.
+//
+// It demonstrates the repro.Online API: train on accumulated history,
+// consume a live event stream one record at a time, emit warnings with
+// their realized lead times, and retrain mid-stream every four weeks —
+// the deployment mode the paper argues for ("an event-driven approach is
+// well suited for online failure prediction").
+//
+//	go run ./examples/onlinemonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+const weekMs = 7 * 24 * 3600 * 1000
+
+func main() {
+	cfg := repro.SDSC(23).Scaled(32, 0.05)
+	raw, err := repro.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	events, _ := repro.Preprocess(raw, 300)
+
+	const trainWeeks = 12
+	split := cfg.Start + trainWeeks*weekMs
+	var history, live []repro.TaggedEvent
+	for _, e := range events {
+		if e.Time < split {
+			history = append(history, e)
+		} else {
+			live = append(live, e)
+		}
+	}
+
+	online := repro.NewOnline(repro.DefaultOptions())
+	st, err := online.Train(history)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d events: %d candidate rules, %d kept\n\n",
+		len(history), st.Candidates, st.Kept)
+
+	// Stream the remaining weeks; retrain every 4 weeks on the most
+	// recent 12 weeks, exactly like the paper's dynamic framework.
+	nextRetrain := split + 4*weekMs
+	var open []repro.Warning
+	warnings, hits := 0, 0
+	fatals, predictedFatals := 0, 0
+	for i, e := range live {
+		if e.Time >= nextRetrain {
+			lo := e.Time - trainWeeks*weekMs
+			var window []repro.TaggedEvent
+			for _, h := range append(history, live[:i]...) {
+				if h.Time >= lo && h.Time < e.Time {
+					window = append(window, h)
+				}
+			}
+			st, err := online.Train(window)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s  retrained: %d rules in repository\n",
+				stamp(e.Time), st.Repo)
+			nextRetrain += 4 * weekMs
+		}
+
+		if e.Fatal {
+			fatals++
+			covered := false
+			for _, w := range open {
+				if w.Time < e.Time && e.Time <= w.Deadline {
+					covered = true
+					lead := time.Duration(e.Time-w.Time) * time.Millisecond
+					fmt.Printf("%s  FAILURE %q — predicted %s earlier by %s\n",
+						stamp(e.Time), e.Entry, lead.Round(time.Second), w.Source)
+					hits++
+					break
+				}
+			}
+			if covered {
+				predictedFatals++
+			}
+		}
+
+		for _, w := range online.Observe(e) {
+			warnings++
+			open = append(open, w)
+			if len(open) > 16 { // keep only recent windows
+				open = open[len(open)-16:]
+			}
+		}
+	}
+
+	fmt.Printf("\nstream summary: %d live events, %d fatals, %d warnings\n",
+		len(live), fatals, warnings)
+	if fatals > 0 {
+		fmt.Printf("failures predicted: %d/%d (%.0f%%)\n",
+			predictedFatals, fatals, 100*float64(predictedFatals)/float64(fatals))
+	}
+}
+
+func stamp(ms int64) string {
+	return time.UnixMilli(ms).UTC().Format("2006-01-02 15:04")
+}

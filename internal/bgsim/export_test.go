@@ -1,0 +1,8 @@
+package bgsim
+
+import "repro/internal/stats"
+
+// newJobPoolForTest exposes the job pool to tests with a fixed seed.
+func newJobPoolForTest(topo Topology, concurrency int) *jobPool {
+	return newJobPool(topo, concurrency, stats.NewRNG(12345), 0)
+}

@@ -1,0 +1,82 @@
+package bgsim
+
+import (
+	"repro/internal/stats"
+)
+
+// Job is one running application: it owns a midplane-aligned partition of
+// compute chips for a bounded duration. RAS events detected by the
+// application (APP and KERNEL facilities, mostly) carry its ID, and the
+// per-chip polling agents of its partition are what duplicate each fault
+// report across locations.
+type Job struct {
+	ID        int64
+	Midplane  int   // global midplane index the partition starts at
+	Midplanes int   // partition width in midplanes
+	Start     int64 // ms
+	End       int64 // ms
+}
+
+// Active reports whether the job is running at time t.
+func (j Job) Active(t int64) bool { return t >= j.Start && t < j.End }
+
+// jobPool keeps a rotating set of concurrent jobs, replacing each job when
+// it ends. Job durations are log-normal (median a few hours), matching the
+// scientific-computing workloads both installations ran.
+type jobPool struct {
+	topo     Topology
+	rng      *stats.RNG
+	duration stats.LogNormal
+	nextID   int64
+	jobs     []Job
+}
+
+func newJobPool(topo Topology, concurrency int, rng *stats.RNG, start int64) *jobPool {
+	p := &jobPool{
+		topo: topo,
+		rng:  rng,
+		// Median ≈ exp(mu) ms. mu = log(6h in ms) ≈ 16.89.
+		duration: stats.LogNormal{Mu: 16.89, Sigma: 0.9},
+		nextID:   1,
+		jobs:     make([]Job, concurrency),
+	}
+	for i := range p.jobs {
+		p.jobs[i] = p.spawn(start - p.rng.Int63n(3_600_000))
+	}
+	return p
+}
+
+func (p *jobPool) spawn(t int64) Job {
+	width := 1
+	if p.topo.Midplanes() > 1 && p.rng.Bool(0.3) {
+		width = 2
+	}
+	maxStart := p.topo.Midplanes() - width
+	mid := 0
+	if maxStart > 0 {
+		mid = p.rng.Intn(maxStart + 1)
+	}
+	dur := int64(p.duration.Sample(p.rng))
+	if dur < 600_000 { // at least 10 minutes
+		dur = 600_000
+	}
+	j := Job{ID: p.nextID, Midplane: mid, Midplanes: width, Start: t, End: t + dur}
+	p.nextID++
+	return j
+}
+
+// at returns a job running at time t, refreshing any ended slots first.
+func (p *jobPool) at(t int64) Job {
+	i := p.rng.Intn(len(p.jobs))
+	if !p.jobs[i].Active(t) {
+		p.jobs[i] = p.spawn(t)
+	}
+	return p.jobs[i]
+}
+
+// chipOf picks a random chip of the job's partition.
+func (p *jobPool) chipOf(j Job) int {
+	first, _ := p.topo.ChipRange(j.Midplane)
+	span := j.Midplanes * NodesPerMidplane
+	return first + p.rng.Intn(span)
+}

@@ -1,0 +1,171 @@
+package bgsim
+
+import (
+	"testing"
+
+	"repro/internal/raslog"
+)
+
+// newTestGenerator builds a generator without running it.
+func newTestGenerator(t *testing.T, cfg *Config) *Generator {
+	t.Helper()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// rankDistance counts positions whose weight changed between two weight
+// vectors.
+func rankDistance(a, b []float64) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestNoiseWeightsDriftGradually(t *testing.T) {
+	cfg := SDSC(9) // reconfiguration at week 62, 12-week regimes
+	g := newTestGenerator(t, cfg)
+	fac := raslog.Kernel
+	n := len(g.nonFatalByFac[fac])
+
+	// Within one regime: identical.
+	w0 := g.noiseWeightsFor(fac, 0)
+	w0b := g.noiseWeightsFor(fac, 11)
+	if rankDistance(w0, w0b) != 0 {
+		t.Fatal("weights changed within a regime")
+	}
+
+	// Across one pre-reconfiguration regime boundary: a few transpositions,
+	// not a full remap.
+	w1 := g.noiseWeightsFor(fac, 12)
+	d := rankDistance(w0, w1)
+	if d == 0 {
+		t.Fatal("no drift across a regime boundary")
+	}
+	if d > n/2 {
+		t.Fatalf("regime boundary remapped %d/%d ranks — too violent", d, n)
+	}
+
+	// Across the reconfiguration: a heavy remap.
+	pre := g.noiseWeightsFor(fac, 61)
+	post := g.noiseWeightsFor(fac, 62)
+	if dr := rankDistance(pre, post); dr < n/3 {
+		t.Fatalf("reconfiguration changed only %d/%d ranks", dr, n)
+	}
+
+	// Consecutive POST-reconfiguration regimes drift gently again — the
+	// reconfiguration is a one-time event, not a recurring remap (this was
+	// a real bug: every post epoch used to get a fresh permutation).
+	p1 := g.noiseWeightsFor(fac, 72) // epoch 6, post
+	p2 := g.noiseWeightsFor(fac, 84) // epoch 7, post
+	if dp := rankDistance(p1, p2); dp > n/2 {
+		t.Fatalf("post-reconfig boundary remapped %d/%d ranks — reconfig recurring", dp, n)
+	}
+}
+
+func TestFatalWeightsDriftAndStayNormalized(t *testing.T) {
+	cfg := ANL(9)
+	g := newTestGenerator(t, cfg)
+	fac := raslog.Kernel
+	w0 := g.fatalWeightsFor(fac, 0)
+	w5 := g.fatalWeightsFor(fac, 60) // several regimes later
+	if rankDistance(w0, w5) == 0 {
+		t.Error("fatal-class ranking never drifted")
+	}
+	for _, w := range w5 {
+		if w <= 0 || w > 1 {
+			t.Fatalf("weight %g out of (0,1]", w)
+		}
+	}
+	// Deterministic per (facility, week).
+	again := g.fatalWeightsFor(fac, 60)
+	if rankDistance(w5, again) != 0 {
+		t.Error("fatal weights nondeterministic")
+	}
+}
+
+func TestRegimeFactorWalk(t *testing.T) {
+	cfg := SDSC(9)
+	g := newTestGenerator(t, cfg)
+	// Epoch 0: exactly 1.
+	if f := g.regimeFactor(0, 0x7a7e, cfg.RegimeRateJitter); f != 1 {
+		t.Errorf("epoch-0 factor = %g", f)
+	}
+	// Deterministic and constant within a regime.
+	a := g.regimeFactor(30, 0x7a7e, cfg.RegimeRateJitter)
+	b := g.regimeFactor(35, 0x7a7e, cfg.RegimeRateJitter)
+	if a != b {
+		t.Errorf("factor changed within a regime: %g vs %g", a, b)
+	}
+	// Per-step bound: consecutive epochs differ by at most the jitter.
+	prev := 1.0
+	for week := 12; week < 60; week += 12 {
+		f := g.regimeFactor(week, 0x7a7e, cfg.RegimeRateJitter)
+		ratio := f / prev
+		if ratio < 1/cfg.RegimeRateJitter-1e-9 || ratio > cfg.RegimeRateJitter+1e-9 {
+			t.Fatalf("week %d: step ratio %g outside ±%g", week, ratio, cfg.RegimeRateJitter)
+		}
+		prev = f
+	}
+	// The reconfiguration applies a one-time extra jump.
+	pre := g.regimeFactor(61, 0x7a7e, cfg.RegimeRateJitter)
+	post := g.regimeFactor(62, 0x7a7e, cfg.RegimeRateJitter)
+	if pre == post {
+		t.Error("reconfiguration did not move the rate factor")
+	}
+	// Jitter <= 1 disables.
+	if f := g.regimeFactor(50, 0x7a7e, 1.0); f != 1 {
+		t.Errorf("disabled jitter returned %g", f)
+	}
+}
+
+func TestClusteredWeightsGateClasses(t *testing.T) {
+	cfg := ANL(9)
+	g := newTestGenerator(t, cfg)
+	fac := raslog.Kernel
+	w := g.clusteredWeightsFor(fac, 0)
+	zeroed, nonzero := 0, 0
+	for _, v := range w {
+		if v == 0 {
+			zeroed++
+		} else {
+			nonzero++
+		}
+	}
+	if zeroed == 0 {
+		t.Error("no classes detached from fault activity")
+	}
+	if nonzero == 0 {
+		t.Error("every class detached")
+	}
+	// The attached set changes across regimes.
+	w2 := g.clusteredWeightsFor(fac, 24)
+	changed := false
+	for i := range w {
+		if (w[i] == 0) != (w2[i] == 0) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("attachment never rotated across regimes")
+	}
+}
+
+func TestChattersForAll(t *testing.T) {
+	if !chattersForAll(raslog.Kernel) || !chattersForAll(raslog.App) {
+		t.Error("software-stack facilities must chatter for all episodes")
+	}
+	for _, fac := range []raslog.Facility{raslog.Monitor, raslog.Discovery,
+		raslog.Hardware, raslog.LinkCard, raslog.CMCS} {
+		if chattersForAll(fac) {
+			t.Errorf("infrastructure facility %v chatters for all", fac)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package bgsim
+
+import (
+	"repro/internal/preprocess"
+	"repro/internal/raslog"
+	"repro/internal/stats"
+)
+
+// signatureTable maps each fatal event class to its *precursor signature*:
+// the small set of non-fatal event classes that tend to precede it inside
+// the rule-generation window. Signatures are what association-rule mining
+// discovers.
+//
+// Signatures drift: every driftPeriod weeks a fraction of fatal classes
+// deterministically re-draw their signature, and a reconfiguration (if
+// configured) re-draws almost everything at once. This models the paper's
+// observation that "rules of failure patterns change dramatically during
+// system operation" and the SDSC reconfiguration around week 60–64.
+type signatureTable struct {
+	seed          uint64
+	catalog       *preprocess.Catalog
+	nonFatalByFac map[raslog.Facility][]int
+	allNonFatal   []int
+
+	hasSignatureProb float64 // fraction of fatal classes that have precursors at all
+	driftPeriod      int     // weeks between drift opportunities (0 = no drift)
+	driftFraction    float64 // fraction of classes re-drawn per opportunity
+	reconfigWeek     int     // week of the major reconfiguration (-1 = none)
+}
+
+// newSignatureTable builds the table. pool optionally restricts the
+// classes signatures may use (per facility); the generator passes the
+// *rare* half of each facility's popularity ranking, so signatures are
+// distinctive warning types rather than everyday chatter — which is what
+// keeps association rules precise amid post-failure reaction traffic.
+func newSignatureTable(seed uint64, cat *preprocess.Catalog,
+	hasSigProb float64, driftPeriod int, driftFraction float64, reconfigWeek int,
+	pool map[raslog.Facility][]int) *signatureTable {
+	s := &signatureTable{
+		seed:             seed,
+		catalog:          cat,
+		nonFatalByFac:    make(map[raslog.Facility][]int),
+		hasSignatureProb: hasSigProb,
+		driftPeriod:      driftPeriod,
+		driftFraction:    driftFraction,
+		reconfigWeek:     reconfigWeek,
+	}
+	for _, cl := range cat.Classes() {
+		if cl.Fatal {
+			continue
+		}
+		if pool[cl.Facility] == nil {
+			s.nonFatalByFac[cl.Facility] = append(s.nonFatalByFac[cl.Facility], cl.ID)
+			s.allNonFatal = append(s.allNonFatal, cl.ID)
+		}
+	}
+	// Iterate facilities in declaration order: ranging over the pool map
+	// would order allNonFatal nondeterministically, and signature draws
+	// index into it.
+	for _, fac := range raslog.Facilities() {
+		ids := pool[fac]
+		if ids == nil {
+			continue
+		}
+		s.nonFatalByFac[fac] = append([]int(nil), ids...)
+		s.allNonFatal = append(s.allNonFatal, ids...)
+	}
+	return s
+}
+
+// classRNG derives a deterministic stream for (class, salt).
+func (s *signatureTable) classRNG(class int, salt uint64) *stats.RNG {
+	return stats.NewRNG(s.seed ^ uint64(class)*0x9e3779b97f4a7c15 ^ salt*0xd1342543de82ef95)
+}
+
+// hasSignature reports whether the fatal class has precursors at all.
+// Stable across regimes: precursor-less failure modes stay precursor-less,
+// which is what bounds association-rule recall (paper Observation #1).
+func (s *signatureTable) hasSignature(class int) bool {
+	return s.classRNG(class, 1).Float64() < s.hasSignatureProb
+}
+
+// epoch counts how many times the class's signature has been re-drawn by
+// the given week.
+func (s *signatureTable) epoch(class, week int) uint64 {
+	var n uint64
+	if s.driftPeriod > 0 {
+		for r := 1; r <= week/s.driftPeriod; r++ {
+			if s.classRNG(class, 0x100+uint64(r)).Float64() < s.driftFraction {
+				n++
+			}
+		}
+	}
+	if s.reconfigWeek >= 0 && week >= s.reconfigWeek {
+		// The reconfiguration re-draws almost all signatures at once.
+		if s.classRNG(class, 0x9999).Float64() < 0.85 {
+			n += 1_000_000
+		}
+	}
+	return n
+}
+
+// signature returns the precursor class IDs for a fatal class in the given
+// week (nil if the class has no precursors). Signatures have 2–4 members,
+// drawn mostly from the same facility's non-fatal classes.
+func (s *signatureTable) signature(class, week int) []int {
+	if !s.hasSignature(class) {
+		return nil
+	}
+	fac := s.catalog.Class(class).Facility
+	r := s.classRNG(class, 0x200+s.epoch(class, week))
+	size := 2 + r.Intn(3)
+	pool := s.nonFatalByFac[fac]
+	if len(pool) < size {
+		pool = s.allNonFatal
+	}
+	sig := make([]int, 0, size)
+	seen := make(map[int]bool, size)
+	for len(sig) < size {
+		var id int
+		if r.Bool(0.8) && len(s.nonFatalByFac[fac]) > 0 {
+			p := s.nonFatalByFac[fac]
+			id = p[r.Intn(len(p))]
+		} else {
+			id = s.allNonFatal[r.Intn(len(s.allNonFatal))]
+		}
+		if !seen[id] {
+			seen[id] = true
+			sig = append(sig, id)
+		}
+		_ = pool
+	}
+	return sig
+}

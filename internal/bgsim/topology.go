@@ -1,0 +1,96 @@
+// Package bgsim is a synthetic Blue Gene/L RAS-log generator. It stands in
+// for the production ANL and SDSC logs the paper evaluates on (which are
+// not publicly redistributable): it models the machines' packaging
+// hierarchy, their job workload, and — most importantly — the statistical
+// structure the paper's learners exploit:
+//
+//   - Weibull-clustered failure episodes (the paper's SDSC fit is
+//     F(t) = 1 - exp(-(t/19984.8)^0.507936));
+//   - precursor signatures: a minority of fatal classes are preceded by
+//     characteristic non-fatal events inside the rule-generation window
+//     (the paper finds up to 75 % of fatals have NO precursors);
+//   - failure bursts (network and I/O storms) that make "k failures within
+//     W_P" statistically predictive;
+//   - massive duplicate reporting (per-chip polling agents), which the
+//     preprocessing filter must compress by >98 %;
+//   - slow failure-pattern drift plus a major mid-life reconfiguration
+//     (the SDSC system was reconfigured around week 60–64), which is what
+//     makes *dynamic* relearning necessary.
+package bgsim
+
+import "fmt"
+
+// Topology describes one Blue Gene/L installation's packaging hierarchy
+// (paper §2.1, Figure 2): a rack holds 2 midplanes; a midplane holds 16
+// node cards plus a service card; a node card holds 16 compute cards; a
+// compute card holds 2 chips (nodes).
+type Topology struct {
+	Racks   int
+	IONodes int // total I/O nodes (varies by installation)
+}
+
+// Standard packaging constants for Blue Gene/L.
+const (
+	MidplanesPerRack     = 2
+	NodeCardsPerMidplane = 16
+	ComputeCardsPerCard  = 16
+	ChipsPerComputeCard  = 2
+	// NodesPerMidplane is 16 node cards × 16 compute cards × 2 chips.
+	NodesPerMidplane = NodeCardsPerMidplane * ComputeCardsPerCard * ChipsPerComputeCard
+)
+
+// Midplanes returns the number of midplanes in the installation.
+func (t Topology) Midplanes() int { return t.Racks * MidplanesPerRack }
+
+// ComputeNodes returns the number of compute nodes (chips).
+func (t Topology) ComputeNodes() int { return t.Midplanes() * NodesPerMidplane }
+
+// Validate checks the topology is physically sensible.
+func (t Topology) Validate() error {
+	if t.Racks <= 0 {
+		return fmt.Errorf("bgsim: topology needs at least one rack, got %d", t.Racks)
+	}
+	if t.IONodes < 0 {
+		return fmt.Errorf("bgsim: negative I/O node count %d", t.IONodes)
+	}
+	return nil
+}
+
+// ChipLocation formats the location string of compute chip index i
+// (0 <= i < ComputeNodes()) in the style of the production logs:
+// Rrr-Mm-Nnn-Ccc-Uu.
+func (t Topology) ChipLocation(i int) string {
+	chip := i % ChipsPerComputeCard
+	i /= ChipsPerComputeCard
+	card := i % ComputeCardsPerCard
+	i /= ComputeCardsPerCard
+	nodeCard := i % NodeCardsPerMidplane
+	i /= NodeCardsPerMidplane
+	mid := i % MidplanesPerRack
+	rack := i / MidplanesPerRack
+	return fmt.Sprintf("R%02d-M%d-N%02d-C%02d-U%d", rack, mid, nodeCard, card, chip)
+}
+
+// NodeCardLocation formats the location of node card n within midplane m
+// of the installation (m counts midplanes globally).
+func (t Topology) NodeCardLocation(m, n int) string {
+	return fmt.Sprintf("R%02d-M%d-N%02d", m/MidplanesPerRack, m%MidplanesPerRack, n)
+}
+
+// ServiceCardLocation formats the location of midplane m's service card.
+func (t Topology) ServiceCardLocation(m int) string {
+	return fmt.Sprintf("R%02d-M%d-S", m/MidplanesPerRack, m%MidplanesPerRack)
+}
+
+// LinkCardLocation formats the location of midplane m's link card l.
+func (t Topology) LinkCardLocation(m, l int) string {
+	return fmt.Sprintf("R%02d-M%d-L%d", m/MidplanesPerRack, m%MidplanesPerRack, l)
+}
+
+// MidplaneOfChip returns the global midplane index of chip i.
+func (t Topology) MidplaneOfChip(i int) int { return i / NodesPerMidplane }
+
+// ChipRange returns the [first, last) global chip indices of midplane m.
+func (t Topology) ChipRange(m int) (first, last int) {
+	return m * NodesPerMidplane, (m + 1) * NodesPerMidplane
+}

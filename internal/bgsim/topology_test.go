@@ -1,0 +1,120 @@
+package bgsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTopologyCountsMatchPaper(t *testing.T) {
+	// ANL: one rack, 1,024 dual-core compute nodes (paper §2.2).
+	anl := Topology{Racks: 1, IONodes: 32}
+	if got := anl.ComputeNodes(); got != 1024 {
+		t.Errorf("ANL compute nodes = %d, want 1024", got)
+	}
+	if got := anl.Midplanes(); got != 2 {
+		t.Errorf("ANL midplanes = %d, want 2", got)
+	}
+	// SDSC: three racks, 3,072 compute nodes.
+	sdsc := Topology{Racks: 3, IONodes: 384}
+	if got := sdsc.ComputeNodes(); got != 3072 {
+		t.Errorf("SDSC compute nodes = %d, want 3072", got)
+	}
+	// A midplane holds 1,024 processors = 512 dual-core nodes.
+	if NodesPerMidplane != 512 {
+		t.Errorf("NodesPerMidplane = %d, want 512", NodesPerMidplane)
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := (Topology{Racks: 0}).Validate(); err == nil {
+		t.Error("zero racks accepted")
+	}
+	if err := (Topology{Racks: 1, IONodes: -1}).Validate(); err == nil {
+		t.Error("negative I/O nodes accepted")
+	}
+	if err := (Topology{Racks: 3, IONodes: 384}).Validate(); err != nil {
+		t.Errorf("valid topology rejected: %v", err)
+	}
+}
+
+func TestChipLocationsUniqueAndStructured(t *testing.T) {
+	topo := Topology{Racks: 2}
+	seen := make(map[string]bool)
+	for i := 0; i < topo.ComputeNodes(); i++ {
+		loc := topo.ChipLocation(i)
+		if seen[loc] {
+			t.Fatalf("duplicate chip location %q at index %d", loc, i)
+		}
+		seen[loc] = true
+		if !strings.HasPrefix(loc, "R") || strings.Count(loc, "-") != 4 {
+			t.Fatalf("malformed location %q", loc)
+		}
+	}
+	if got := topo.ChipLocation(0); got != "R00-M0-N00-C00-U0" {
+		t.Errorf("first chip = %q", got)
+	}
+}
+
+func TestMidplaneOfChipAndRange(t *testing.T) {
+	topo := Topology{Racks: 2}
+	for m := 0; m < topo.Midplanes(); m++ {
+		first, last := topo.ChipRange(m)
+		if last-first != NodesPerMidplane {
+			t.Fatalf("midplane %d range size %d", m, last-first)
+		}
+		if topo.MidplaneOfChip(first) != m || topo.MidplaneOfChip(last-1) != m {
+			t.Fatalf("MidplaneOfChip inconsistent for midplane %d", m)
+		}
+	}
+}
+
+func TestAuxiliaryLocations(t *testing.T) {
+	topo := Topology{Racks: 2}
+	if got := topo.ServiceCardLocation(3); got != "R01-M1-S" {
+		t.Errorf("service card = %q", got)
+	}
+	if got := topo.NodeCardLocation(2, 7); got != "R01-M0-N07" {
+		t.Errorf("node card = %q", got)
+	}
+	if got := topo.LinkCardLocation(1, 2); got != "R00-M1-L2" {
+		t.Errorf("link card = %q", got)
+	}
+}
+
+func TestJobPoolPartitions(t *testing.T) {
+	topo := Topology{Racks: 3}
+	cfg := SDSC(1)
+	_ = cfg
+	p := newJobPoolForTest(topo, 8)
+	for i := 0; i < 200; i++ {
+		j := p.at(int64(i) * 600_000)
+		if j.Midplane < 0 || j.Midplane+j.Midplanes > topo.Midplanes() {
+			t.Fatalf("job partition out of range: %+v", j)
+		}
+		chip := p.chipOf(j)
+		m := topo.MidplaneOfChip(chip)
+		if m < j.Midplane || m >= j.Midplane+j.Midplanes {
+			t.Fatalf("chip %d outside job partition %+v", chip, j)
+		}
+		if !j.Active(int64(i) * 600_000) {
+			t.Fatalf("pool returned inactive job")
+		}
+	}
+}
+
+func TestJobIDsIncrease(t *testing.T) {
+	p := newJobPoolForTest(Topology{Racks: 1}, 4)
+	maxID := int64(0)
+	for i := 0; i < 500; i++ {
+		j := p.at(int64(i) * 3_600_000)
+		if j.ID <= 0 {
+			t.Fatalf("non-positive job id %d", j.ID)
+		}
+		if j.ID > maxID {
+			maxID = j.ID
+		}
+	}
+	if maxID < 5 {
+		t.Errorf("job pool never rotated (max id %d)", maxID)
+	}
+}

@@ -1,0 +1,270 @@
+// Package engine orchestrates the *dynamic* half of the framework
+// (paper §4, Figure 3): it maintains the training set over time, invokes
+// the meta-learner and reviser every retraining window W_R, swaps the
+// refreshed rule set into the online predictor, and scores predictions
+// week by week. The training-set policies (static, sliding, whole-history)
+// and the retraining cadence are exactly the experimental axes of
+// Figures 9 and 10.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/learner"
+	"repro/internal/meta"
+	"repro/internal/predictor"
+	"repro/internal/preprocess"
+	"repro/internal/raslog"
+)
+
+// Policy selects how the training set evolves (Figure 9's four curves).
+type Policy int
+
+// Training-set policies.
+const (
+	// Static trains once on the initial window and never retrains —
+	// Figure 9's "static" baseline.
+	Static Policy = iota
+	// Sliding retrains every W_R weeks on the most recent TrainWeeks of
+	// data ("dynamic-6 mo" / "dynamic-3 mo").
+	Sliding
+	// Whole retrains every W_R weeks on all history so far
+	// ("dynamic-whole").
+	Whole
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Static:
+		return "static"
+	case Sliding:
+		return "sliding"
+	case Whole:
+		return "whole"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes one engine run.
+type Config struct {
+	// Params carries the prediction / rule-generation window W_P.
+	Params learner.Params
+	// Policy selects the training-set evolution.
+	Policy Policy
+	// InitialTrainWeeks is the length of the first training set
+	// (paper default: 26 weeks ≈ six months).
+	InitialTrainWeeks int
+	// TrainWeeks is the sliding-window length for Policy == Sliding.
+	TrainWeeks int
+	// RetrainWeeks is W_R, the retraining cadence (paper default 4).
+	RetrainWeeks int
+	// Meta supplies the learners and reviser; nil means meta.New().
+	Meta *meta.MetaLearner
+	// KindFilter, when non-nil, restricts the predictor to rules of one
+	// family — how Figure 7 evaluates each base learner in isolation.
+	KindFilter *learner.Kind
+	// Tuner, when non-nil, re-selects the prediction window W_P at every
+	// (re)training by validating candidate windows on the tail of the
+	// training set (the paper's adaptive-window future work). Params
+	// then only supplies the initial value.
+	Tuner *WindowTuner
+}
+
+// Defaults returns the paper's default configuration: dynamic retraining
+// every 4 weeks on a sliding six-month window, W_P = 300 s.
+func Defaults() Config {
+	return Config{
+		Params:            learner.Params{WindowSec: 300},
+		Policy:            Sliding,
+		InitialTrainWeeks: 26,
+		TrainWeeks:        26,
+		RetrainWeeks:      4,
+	}
+}
+
+func (c *Config) validate(totalWeeks int) error {
+	if c.Params.WindowSec <= 0 {
+		return fmt.Errorf("engine: WindowSec = %d, need > 0", c.Params.WindowSec)
+	}
+	if c.InitialTrainWeeks <= 0 {
+		return fmt.Errorf("engine: InitialTrainWeeks = %d, need > 0", c.InitialTrainWeeks)
+	}
+	if c.InitialTrainWeeks >= totalWeeks {
+		return fmt.Errorf("engine: initial training (%d weeks) consumes the whole %d-week log",
+			c.InitialTrainWeeks, totalWeeks)
+	}
+	if c.Policy == Sliding && c.TrainWeeks <= 0 {
+		return fmt.Errorf("engine: sliding policy needs TrainWeeks > 0")
+	}
+	if c.Policy != Static && c.RetrainWeeks <= 0 {
+		return fmt.Errorf("engine: dynamic policy needs RetrainWeeks > 0")
+	}
+	return nil
+}
+
+// Retraining records one (re)training pass.
+type Retraining struct {
+	Week        int // zero-based week at which the new rules took effect
+	TrainEvents int
+	RepoSize    int
+	// WindowSec is the prediction window in force after this training
+	// (differs from Config.Params only under a Tuner).
+	WindowSec int64
+	Churn     meta.Churn
+	// Durations for Table 5.
+	LearnerDurations map[string]time.Duration
+	ReviseDuration   time.Duration
+	Total            time.Duration
+}
+
+// Result is the outcome of an engine run.
+type Result struct {
+	Config      Config
+	Start       int64 // ms of week 0
+	Weeks       int
+	TestFrom    int // first predicted week (== InitialTrainWeeks)
+	Warnings    []predictor.Warning
+	FatalTimes  []int64 // fatals in the test span
+	Weekly      []eval.WeekPoint
+	Overall     eval.Outcome
+	Retrainings []Retraining
+	// MatchDuration is the total time spent in the event-driven predictor
+	// over the whole test span (the "rule matching" column of Table 5).
+	MatchDuration time.Duration
+}
+
+// Run executes the framework over a preprocessed, time-sorted event
+// stream spanning [start, start + weeks). Training happens inside the
+// stream's own timeline: the first InitialTrainWeeks are training-only,
+// prediction and periodic retraining cover the rest.
+func Run(events []preprocess.TaggedEvent, start int64, weeks int, cfg Config) (*Result, error) {
+	if err := cfg.validate(weeks); err != nil {
+		return nil, err
+	}
+	ml := cfg.Meta
+	if ml == nil {
+		ml = meta.New()
+	}
+	res := &Result{Config: cfg, Start: start, Weeks: weeks, TestFrom: cfg.InitialTrainWeeks}
+	repo := meta.NewRepository()
+	params := cfg.Params
+
+	weekMs := int64(raslog.MillisPerWeek)
+	at := func(week int) int64 { return start + int64(week)*weekMs }
+	// index finds the first event at or after t.
+	index := func(t int64) int {
+		return sort.Search(len(events), func(i int) bool { return events[i].Time >= t })
+	}
+
+	train := func(effectiveWeek int) error {
+		var from int64
+		switch cfg.Policy {
+		case Whole:
+			from = start
+		case Sliding:
+			fromWeek := effectiveWeek - cfg.TrainWeeks
+			if fromWeek < 0 {
+				fromWeek = 0
+			}
+			from = at(fromWeek)
+		case Static:
+			from = start
+		}
+		to := at(effectiveWeek)
+		slice := events[index(from):index(to)]
+		t0 := time.Now()
+		if cfg.Tuner != nil {
+			wp, _, err := cfg.Tuner.Choose(slice, ml)
+			if err != nil {
+				return err
+			}
+			if wp > 0 {
+				params.WindowSec = wp
+			}
+		}
+		report, err := ml.Train(slice, params)
+		if err != nil {
+			return err
+		}
+		churn := repo.Update(report)
+		res.Retrainings = append(res.Retrainings, Retraining{
+			Week:             effectiveWeek,
+			TrainEvents:      len(slice),
+			RepoSize:         repo.Len(),
+			WindowSec:        params.WindowSec,
+			Churn:            churn,
+			LearnerDurations: report.LearnerDurations,
+			ReviseDuration:   report.ReviseDuration,
+			Total:            time.Since(t0),
+		})
+		return nil
+	}
+
+	// Initial training.
+	if err := train(cfg.InitialTrainWeeks); err != nil {
+		return nil, err
+	}
+
+	// Prediction with periodic retraining.
+	pr := newPredictor(repo, cfg, params)
+	testStart := at(cfg.InitialTrainWeeks)
+	nextRetrain := cfg.InitialTrainWeeks + cfg.RetrainWeeks
+	if cfg.Policy == Static {
+		nextRetrain = weeks + 1 // never
+	}
+	i := index(testStart)
+	for week := cfg.InitialTrainWeeks; week < weeks; week++ {
+		if week == nextRetrain {
+			if err := train(week); err != nil {
+				return nil, err
+			}
+			lastFatal := pr.LastFatal()
+			pr = newPredictor(repo, cfg, params)
+			pr.SeedLastFatal(lastFatal)
+			nextRetrain += cfg.RetrainWeeks
+		}
+		weekEnd := at(week + 1)
+		t0 := time.Now()
+		for ; i < len(events) && events[i].Time < weekEnd; i++ {
+			res.Warnings = append(res.Warnings, pr.Observe(events[i])...)
+			if events[i].Fatal {
+				res.FatalTimes = append(res.FatalTimes, events[i].Time)
+			}
+		}
+		res.MatchDuration += time.Since(t0)
+	}
+
+	res.Weekly = eval.Weekly(res.Warnings, res.FatalTimes, start, weeks)
+	res.Overall = eval.Match(res.Warnings, res.FatalTimes)
+	return res, nil
+}
+
+// newPredictor loads the repository's rules (optionally filtered to one
+// family) into a fresh predictor using the currently effective params.
+func newPredictor(repo *meta.Repository, cfg Config, params learner.Params) *predictor.Predictor {
+	rules := repo.Rules()
+	if cfg.KindFilter != nil {
+		filtered := rules[:0:0]
+		for _, r := range rules {
+			if r.Kind == *cfg.KindFilter {
+				filtered = append(filtered, r)
+			}
+		}
+		rules = filtered
+	}
+	pr := predictor.New(rules, params)
+	// The full ensemble counts overlapping alarms as one prediction;
+	// a single isolated family keeps its own window. Alarm spacing stays
+	// at the base 300 s window even when evaluating wider prediction
+	// windows (see predictor.DedupWindowSec).
+	pr.GlobalDedup = cfg.KindFilter == nil
+	if params.WindowSec > 300 {
+		pr.DedupWindowSec = 300
+	}
+	return pr
+}

@@ -1,0 +1,226 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/learner"
+	"repro/internal/predictor"
+	"repro/internal/raslog"
+)
+
+func warn(tSec, deadlineSec int64, src learner.Kind) predictor.Warning {
+	return predictor.Warning{Time: tSec * 1000, Deadline: deadlineSec * 1000, Source: src}
+}
+
+func secs(ts ...int64) []int64 {
+	out := make([]int64, len(ts))
+	for i, t := range ts {
+		out[i] = t * 1000
+	}
+	return out
+}
+
+func TestMatchBasic(t *testing.T) {
+	warnings := []predictor.Warning{
+		warn(0, 300, learner.Association),     // covers fatal at 100: TP
+		warn(1000, 1300, learner.Statistical), // no fatal: FP
+	}
+	fatals := secs(100, 5000)
+	o := Match(warnings, fatals)
+	if o.TP != 1 || o.FP != 1 || o.Captured != 1 || o.FN != 1 || o.Fatals != 2 {
+		t.Errorf("outcome = %+v", o)
+	}
+	if o.Precision() != 0.5 || o.Recall() != 0.5 {
+		t.Errorf("precision/recall = %g/%g", o.Precision(), o.Recall())
+	}
+}
+
+func TestMatchExcludesTriggeringInstant(t *testing.T) {
+	// A warning triggered AT a fatal's timestamp must not count that same
+	// fatal as its prediction.
+	warnings := []predictor.Warning{warn(100, 400, learner.Statistical)}
+	o := Match(warnings, secs(100))
+	if o.TP != 0 || o.FP != 1 {
+		t.Errorf("warning matched its own trigger: %+v", o)
+	}
+}
+
+func TestMatchDeadlineInclusive(t *testing.T) {
+	warnings := []predictor.Warning{warn(0, 300, learner.Association)}
+	o := Match(warnings, secs(300))
+	if o.TP != 1 {
+		t.Errorf("fatal at the deadline missed: %+v", o)
+	}
+	o = Match(warnings, secs(301))
+	if o.TP != 0 {
+		t.Errorf("fatal after the deadline counted: %+v", o)
+	}
+}
+
+func TestMatchMultipleWarningsOneFatal(t *testing.T) {
+	warnings := []predictor.Warning{
+		warn(0, 300, learner.Association),
+		warn(50, 350, learner.Distribution),
+	}
+	o := Match(warnings, secs(200))
+	if o.TP != 2 {
+		t.Errorf("TP = %d, want 2 (both windows hit)", o.TP)
+	}
+	if o.Captured != 1 || o.FN != 0 {
+		t.Errorf("captured/FN = %d/%d", o.Captured, o.FN)
+	}
+}
+
+func TestMatchOneWarningManyFatals(t *testing.T) {
+	warnings := []predictor.Warning{warn(0, 300, learner.Statistical)}
+	o := Match(warnings, secs(100, 150, 200))
+	if o.TP != 1 || o.Captured != 3 || o.FN != 0 {
+		t.Errorf("outcome = %+v", o)
+	}
+	if o.Recall() != 1 {
+		t.Errorf("recall = %g", o.Recall())
+	}
+}
+
+func TestMatchEmpty(t *testing.T) {
+	o := Match(nil, nil)
+	if o.Precision() != 0 || o.Recall() != 0 {
+		t.Errorf("empty match = %+v", o)
+	}
+	o = Match(nil, secs(1, 2))
+	if o.FN != 2 || o.Recall() != 0 {
+		t.Errorf("no-warnings match = %+v", o)
+	}
+}
+
+func TestOutcomeAddAndString(t *testing.T) {
+	a := Outcome{TP: 1, FP: 2, FN: 3, Captured: 1, Fatals: 4}
+	b := Outcome{TP: 2, FP: 1, FN: 0, Captured: 2, Fatals: 2}
+	a.Add(b)
+	if a.TP != 3 || a.FP != 3 || a.FN != 3 || a.Captured != 3 || a.Fatals != 6 {
+		t.Errorf("Add = %+v", a)
+	}
+	if !strings.Contains(a.String(), "precision=") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestWeeklyBuckets(t *testing.T) {
+	week := int64(raslog.MillisPerWeek / 1000) // seconds per week
+	warnings := []predictor.Warning{
+		warn(100, 400, learner.Association),           // week 0, TP
+		warn(week+100, week+400, learner.Association), // week 1, FP
+	}
+	fatals := secs(200, week+5000)
+	series := Weekly(warnings, fatals, 0, 3)
+	if len(series) != 2 {
+		t.Fatalf("series length = %d: %+v", len(series), series)
+	}
+	w0, w1 := series[0], series[1]
+	if w0.Week != 0 || w0.TP != 1 || w0.Fatals != 1 || w0.Recall() != 1 {
+		t.Errorf("week 0 = %+v", w0)
+	}
+	if w1.Week != 1 || w1.TP != 0 || w1.FP != 1 || w1.Recall() != 0 {
+		t.Errorf("week 1 = %+v", w1)
+	}
+}
+
+func TestWeeklyCrossBoundaryWarning(t *testing.T) {
+	week := int64(raslog.MillisPerWeek / 1000)
+	// Warning at the very end of week 0 catching a fatal early in week 1.
+	warnings := []predictor.Warning{warn(week-100, week+200, learner.Association)}
+	fatals := secs(week + 50)
+	series := Weekly(warnings, fatals, 0, 2)
+	var sawTP bool
+	for _, wp := range series {
+		if wp.TP > 0 {
+			sawTP = true
+		}
+	}
+	if !sawTP {
+		t.Error("cross-boundary warning scored as FP")
+	}
+}
+
+func TestMeanPrecisionRecall(t *testing.T) {
+	series := []WeekPoint{
+		{Week: 0, Outcome: Outcome{TP: 1, FP: 0, Captured: 1, Fatals: 1}},
+		{Week: 1, Outcome: Outcome{TP: 0, FP: 1, Captured: 0, Fatals: 1, FN: 1}},
+	}
+	p, r := MeanPrecisionRecall(series)
+	if math.Abs(p-0.5) > 1e-9 || math.Abs(r-0.5) > 1e-9 {
+		t.Errorf("mean p/r = %g/%g", p, r)
+	}
+	p, r = MeanPrecisionRecall(nil)
+	if p != 0 || r != 0 {
+		t.Error("empty series mean not zero")
+	}
+}
+
+func TestCoverageSetsAndVenn(t *testing.T) {
+	fatals := secs(100, 1100, 2100, 9000)
+	warnings := []predictor.Warning{
+		warn(0, 300, learner.Association),      // covers fatal 0
+		warn(1000, 1300, learner.Statistical),  // covers fatal 1
+		warn(2000, 2300, learner.Distribution), // covers fatal 2
+		warn(50, 350, learner.Statistical),     // also covers fatal 0
+	}
+	sets := CoverageSets(warnings, fatals)
+	if !sets[learner.Association][0] || !sets[learner.Statistical][0] {
+		t.Errorf("fatal 0 coverage wrong: %v", sets)
+	}
+	v := MakeVenn(sets, len(fatals))
+	if v.Total != 4 || v.Uncaptured != 1 {
+		t.Errorf("venn = %+v", v)
+	}
+	if v.AS != 1 { // fatal 0: association + statistical only
+		t.Errorf("AS = %d, want 1", v.AS)
+	}
+	if v.OnlyS != 1 || v.OnlyP != 1 || v.OnlyA != 0 {
+		t.Errorf("singles = %d/%d/%d", v.OnlyA, v.OnlyS, v.OnlyP)
+	}
+	if v.CoverA != 1 || v.CoverS != 2 || v.CoverP != 1 {
+		t.Errorf("covers = %d/%d/%d", v.CoverA, v.CoverS, v.CoverP)
+	}
+	// Region counts partition the total.
+	sum := v.OnlyA + v.OnlyS + v.OnlyP + v.AS + v.AP + v.SP + v.ASP + v.Uncaptured
+	if sum != v.Total {
+		t.Errorf("regions sum to %d, total %d", sum, v.Total)
+	}
+}
+
+func TestLeadTimes(t *testing.T) {
+	warnings := []predictor.Warning{
+		warn(0, 300, learner.Association),      // covers fatals at 100 and 250
+		warn(1000, 1300, learner.Statistical),  // covers fatal at 1250
+		warn(5000, 5300, learner.Distribution), // covers nothing
+	}
+	fatals := secs(100, 250, 1250, 9000)
+	st := LeadTimes(warnings, fatals)
+	if st.Captured != 3 {
+		t.Fatalf("captured = %d, want 3", st.Captured)
+	}
+	// Leads: 100, 250, 250 seconds.
+	if st.MinSec != 100 || st.MaxSec != 250 || st.MedianSec != 250 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MeanSec < 199 || st.MeanSec > 201 {
+		t.Errorf("mean = %g, want 200", st.MeanSec)
+	}
+	if z := LeadTimes(nil, fatals); z.Captured != 0 {
+		t.Errorf("no warnings: %+v", z)
+	}
+}
+
+func TestLeadTimesEarliestWarningWins(t *testing.T) {
+	warnings := []predictor.Warning{
+		warn(0, 300, learner.Association),
+		warn(100, 400, learner.Distribution),
+	}
+	st := LeadTimes(warnings, secs(200))
+	if st.Captured != 1 || st.MeanSec != 200 {
+		t.Errorf("earliest cover not used: %+v", st)
+	}
+}

@@ -1,0 +1,291 @@
+// Package assoc implements the association-rule base learner (paper §4.1):
+// Apriori itemset mining over the event sets that precede fatal events,
+// yielding rules of the form {e1, e2, ...} => f with support and
+// confidence. Low thresholds (support 0.01, confidence 0.1) are used on
+// purpose — failures are rare events — and the reviser later discards the
+// rules that do not hold up.
+package assoc
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/learner"
+	"repro/internal/preprocess"
+)
+
+// maxClassBits is the field width used to pack an itemset into a uint64
+// map key; class IDs (catalog ≤ 219, unknown fallbacks ≈ 1100) fit in 16
+// bits, so bodies of up to maxPackedItems pack collision-free.
+const (
+	maxClassBits   = 16
+	maxPackedItems = 64 / maxClassBits // 4
+)
+
+// Learner mines association rules {non-fatal classes} => fatal class.
+type Learner struct {
+	// MinSupport is the minimum fraction of event sets that must contain
+	// body ∪ {target} (paper default 0.01).
+	MinSupport float64
+	// MinConfidence is the minimum P(target | body) over event sets
+	// (paper default 0.1).
+	MinConfidence float64
+	// MaxBody caps the antecedent size (default 3; ablated in the bench
+	// suite — deeper bodies cost time and add nothing on these logs).
+	MaxBody int
+	// MaxItems caps how many distinct classes one event set may hold
+	// (default 30, keeping per-transaction subset enumeration bounded).
+	MaxItems int
+	// MaxRules caps the emitted rule count; the highest-confidence rules
+	// win. Mining with permissive support floods the candidate set with
+	// near-duplicates otherwise. 0 means unlimited.
+	MaxRules int
+}
+
+// New returns a learner with the paper's parameters.
+func New() *Learner {
+	return &Learner{MinSupport: 0.01, MinConfidence: 0.1, MaxBody: 3,
+		MaxItems: 30, MaxRules: 400}
+}
+
+// Name implements learner.Learner.
+func (l *Learner) Name() string { return "association" }
+
+// Learn implements learner.Learner: it builds event sets from the stream
+// and runs Apriori over them.
+func (l *Learner) Learn(events []preprocess.TaggedEvent, p learner.Params) ([]learner.Rule, error) {
+	sets := learner.BuildEventSets(events, p, l.MaxItems)
+	return l.Mine(sets)
+}
+
+// Mine runs Apriori directly over prepared event sets (exposed separately
+// so tests and tools can mine synthetic transactions).
+func (l *Learner) Mine(sets []learner.EventSet) ([]learner.Rule, error) {
+	n := len(sets)
+	if n == 0 {
+		return nil, nil
+	}
+	minCount := int(math.Ceil(l.MinSupport * float64(n)))
+	if minCount < 1 {
+		minCount = 1
+	}
+	maxBody := l.MaxBody
+	if maxBody <= 0 {
+		maxBody = 3
+	}
+	if maxBody > maxPackedItems {
+		// Itemset keys pack into a uint64; larger bodies would collide.
+		maxBody = maxPackedItems
+	}
+
+	var rules []learner.Rule
+	frequent := l.frequentItems(sets, minCount) // level 1
+	level := make([]itemset, 0, len(frequent))
+	for _, it := range frequent {
+		level = append(level, itemset{items: []int{it}})
+	}
+	for k := 1; k <= maxBody && len(level) > 0; k++ {
+		counts := countItemsets(sets, level, frequent)
+		var kept []itemset
+		for i := range level {
+			c := counts[i]
+			if c.global < minCount {
+				continue
+			}
+			kept = append(kept, level[i])
+			for target, tc := range c.byTarget {
+				if tc < minCount {
+					continue
+				}
+				conf := float64(tc) / float64(c.global)
+				if conf < l.MinConfidence {
+					continue
+				}
+				body := append([]int(nil), level[i].items...)
+				rules = append(rules, learner.Rule{
+					Kind:       learner.Association,
+					Body:       body,
+					Target:     target,
+					Confidence: conf,
+					Support:    float64(tc) / float64(n),
+				})
+			}
+		}
+		if k == maxBody {
+			break
+		}
+		level = generateCandidates(kept)
+	}
+
+	// Cap by mining quality, then emit in a deterministic order.
+	if l.MaxRules > 0 && len(rules) > l.MaxRules {
+		sort.Slice(rules, func(i, j int) bool {
+			if rules[i].Confidence != rules[j].Confidence {
+				return rules[i].Confidence > rules[j].Confidence
+			}
+			if rules[i].Support != rules[j].Support {
+				return rules[i].Support > rules[j].Support
+			}
+			return rules[i].ID() < rules[j].ID()
+		})
+		rules = rules[:l.MaxRules]
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID() < rules[j].ID() })
+	return rules, nil
+}
+
+type itemset struct {
+	items []int // sorted
+}
+
+type itemsetCount struct {
+	global   int
+	byTarget map[int]int
+}
+
+// frequentItems returns the sorted non-fatal classes that appear in at
+// least minCount event sets.
+func (l *Learner) frequentItems(sets []learner.EventSet, minCount int) []int {
+	counts := make(map[int]int)
+	for _, s := range sets {
+		for _, it := range s.Items {
+			counts[it]++
+		}
+	}
+	var out []int
+	for it, c := range counts {
+		if c >= minCount {
+			out = append(out, it)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// pack encodes a sorted itemset (≤ maxPackedItems items, IDs < 2^16) as
+// a uint64 key.
+func pack(items []int) uint64 {
+	var key uint64
+	for _, it := range items {
+		key = key<<maxClassBits | uint64(it+1) // +1 so the empty field is 0
+	}
+	return key
+}
+
+// countItemsets counts, for each candidate, how many event sets contain it
+// (global) and how many per target class. Candidates must share a size.
+func countItemsets(sets []learner.EventSet, candidates []itemset, frequentItems []int) []itemsetCount {
+	counts := make([]itemsetCount, len(candidates))
+	for i := range counts {
+		counts[i].byTarget = make(map[int]int)
+	}
+	if len(candidates) == 0 {
+		return counts
+	}
+	k := len(candidates[0].items)
+	index := make(map[uint64]int, len(candidates))
+	for i, c := range candidates {
+		index[pack(c.items)] = i
+	}
+	freq := make(map[int]bool, len(frequentItems))
+	for _, it := range frequentItems {
+		freq[it] = true
+	}
+	combo := make([]int, k)
+	var trimmed []int
+	for _, s := range sets {
+		// Restrict the transaction to globally frequent items first — the
+		// standard Apriori transaction-trimming optimization.
+		trimmed = trimmed[:0]
+		for _, it := range s.Items {
+			if freq[it] {
+				trimmed = append(trimmed, it)
+			}
+		}
+		if len(trimmed) < k {
+			continue
+		}
+		enumerate(trimmed, combo, 0, 0, func(c []int) {
+			if i, ok := index[pack(c)]; ok {
+				counts[i].global++
+				counts[i].byTarget[s.Target]++
+			}
+		})
+	}
+	return counts
+}
+
+// enumerate visits every size-len(combo) combination of items (which are
+// sorted), filling combo in place.
+func enumerate(items, combo []int, start, depth int, visit func([]int)) {
+	if depth == len(combo) {
+		visit(combo)
+		return
+	}
+	for i := start; i <= len(items)-(len(combo)-depth); i++ {
+		combo[depth] = items[i]
+		enumerate(items, combo, i+1, depth+1, visit)
+	}
+}
+
+// generateCandidates joins frequent k-itemsets sharing their first k-1
+// items into (k+1)-candidates, pruning any whose k-subsets are not all
+// frequent (the Apriori property).
+func generateCandidates(frequent []itemset) []itemset {
+	known := make(map[uint64]bool, len(frequent))
+	for _, f := range frequent {
+		known[pack(f.items)] = true
+	}
+	var out []itemset
+	for i := 0; i < len(frequent); i++ {
+		for j := i + 1; j < len(frequent); j++ {
+			a, b := frequent[i].items, frequent[j].items
+			if !samePrefix(a, b) {
+				continue
+			}
+			merged := make([]int, len(a)+1)
+			copy(merged, a)
+			last := b[len(b)-1]
+			if last < a[len(a)-1] {
+				merged[len(a)-1], merged[len(a)] = last, a[len(a)-1]
+			} else {
+				merged[len(a)] = last
+			}
+			if allSubsetsFrequent(merged, known) {
+				out = append(out, itemset{items: merged})
+			}
+		}
+	}
+	return out
+}
+
+// samePrefix reports whether two equal-length sorted itemsets share all
+// but their last element.
+func samePrefix(a, b []int) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return a[len(a)-1] != b[len(b)-1]
+}
+
+// allSubsetsFrequent checks the Apriori downward-closure property.
+func allSubsetsFrequent(items []int, known map[uint64]bool) bool {
+	if len(items) <= 2 {
+		return true // subsets were the joined pair, frequent by construction
+	}
+	sub := make([]int, 0, len(items)-1)
+	for skip := range items {
+		sub = sub[:0]
+		for i, it := range items {
+			if i != skip {
+				sub = append(sub, it)
+			}
+		}
+		if !known[pack(sub)] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,160 @@
+package bayes
+
+import (
+	"testing"
+
+	"repro/internal/learner"
+	"repro/internal/preprocess"
+	"repro/internal/raslog"
+)
+
+var p300 = learner.Params{WindowSec: 300}
+
+func mk(tSec int64, class int, fatal bool) preprocess.TaggedEvent {
+	return preprocess.TaggedEvent{
+		Event: raslog.Event{Time: tSec * 1000}, Class: class, Fatal: fatal,
+	}
+}
+
+// indicatorStream: class 1 precedes fatal 99 reliably; class 2 occurs
+// everywhere (uninformative); class 3 occurs only far from failures.
+func indicatorStream() []preprocess.TaggedEvent {
+	var events []preprocess.TaggedEvent
+	tm := int64(0)
+	for i := 0; i < 40; i++ {
+		events = append(events,
+			mk(tm, 1, false), mk(tm+30, 2, false), mk(tm+120, 99, true))
+		tm += 4000
+		events = append(events, mk(tm, 2, false), mk(tm+10, 3, false))
+		tm += 4000
+	}
+	return events
+}
+
+func TestLearnFindsIndicator(t *testing.T) {
+	rules, err := New().Learn(indicatorStream(), p300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found, badTwo, badThree bool
+	for _, r := range rules {
+		if r.Kind != learner.Association || len(r.Body) != 1 {
+			t.Fatalf("unexpected rule shape %+v", r)
+		}
+		switch r.Body[0] {
+		case 1:
+			found = true
+			if r.Target != 99 {
+				t.Errorf("indicator target = %d, want 99", r.Target)
+			}
+			if r.Confidence < 0.9 {
+				t.Errorf("indicator confidence = %g", r.Confidence)
+			}
+		case 2:
+			badTwo = true
+		case 3:
+			badThree = true
+		}
+	}
+	if !found {
+		t.Fatalf("reliable indicator not mined: %v", rules)
+	}
+	if badTwo {
+		t.Error("uninformative class became a rule")
+	}
+	if badThree {
+		t.Error("anti-correlated class became a rule")
+	}
+}
+
+func TestLearnEmptyAndDegenerate(t *testing.T) {
+	l := New()
+	rules, err := l.Learn(nil, p300)
+	if err != nil || rules != nil {
+		t.Errorf("empty stream: %v %v", rules, err)
+	}
+	// Only fatals: no non-fatal occurrences at all.
+	rules, err = l.Learn([]preprocess.TaggedEvent{mk(0, 99, true), mk(10, 98, true)}, p300)
+	if err != nil || rules != nil {
+		t.Errorf("fatal-only stream: %v %v", rules, err)
+	}
+	// Only non-fatals: no positives.
+	rules, err = l.Learn([]preprocess.TaggedEvent{mk(0, 1, false), mk(10, 2, false)}, p300)
+	if err != nil || rules != nil {
+		t.Errorf("no-fatal stream: %v %v", rules, err)
+	}
+}
+
+func TestMinOccurrences(t *testing.T) {
+	// Indicator appears before failures only 3 times: below the floor.
+	var events []preprocess.TaggedEvent
+	tm := int64(0)
+	for i := 0; i < 3; i++ {
+		events = append(events, mk(tm, 1, false), mk(tm+60, 99, true))
+		tm += 4000
+	}
+	for i := 0; i < 30; i++ { // negatives so the ratio is defined
+		events = append(events, mk(tm, 2, false))
+		tm += 4000
+	}
+	rules, err := New().Learn(events, p300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 0 {
+		t.Errorf("under-supported indicator mined: %v", rules)
+	}
+}
+
+func TestMaxRulesCap(t *testing.T) {
+	l := New()
+	l.MaxRules = 2
+	l.MinLikelihoodRatio = 1
+	l.MinOccurrences = 1
+	var events []preprocess.TaggedEvent
+	tm := int64(0)
+	for i := 0; i < 20; i++ {
+		events = append(events,
+			mk(tm, 1, false), mk(tm+10, 2, false), mk(tm+20, 3, false),
+			mk(tm+30, 4, false), mk(tm+60, 99, true))
+		tm += 4000
+		events = append(events, mk(tm, 5, false))
+		tm += 4000
+	}
+	rules, err := l.Learn(events, p300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) > 2 {
+		t.Errorf("cap ignored: %d rules", len(rules))
+	}
+}
+
+func TestRulesWorkInPredictor(t *testing.T) {
+	// Bayes rules are plain association rules: the predictor must fire
+	// them without modification.
+	rules, err := New().Learn(indicatorStream(), p300)
+	if err != nil || len(rules) == 0 {
+		t.Fatalf("no rules: %v", err)
+	}
+	// learner.Rule with Body {1} fires on class-1 events; verified via
+	// the rule's shape (integration covered in internal/meta tests).
+	for _, r := range rules {
+		if r.ID() == "" {
+			t.Error("rule has empty ID")
+		}
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	a, _ := New().Learn(indicatorStream(), p300)
+	b, _ := New().Learn(indicatorStream(), p300)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic rule count")
+	}
+	for i := range a {
+		if a[i].ID() != b[i].ID() {
+			t.Fatalf("order differs at %d", i)
+		}
+	}
+}

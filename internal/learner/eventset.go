@@ -1,0 +1,83 @@
+package learner
+
+import "repro/internal/preprocess"
+
+// EventSet is one association-rule transaction (paper §4.1): the distinct
+// non-fatal classes observed within the rule-generation window before one
+// fatal event, together with that fatal event's class.
+type EventSet struct {
+	Items  []int // sorted distinct non-fatal class IDs
+	Target int   // the fatal class the items preceded
+}
+
+// BuildEventSets scans a time-sorted tagged stream and emits one EventSet
+// per fatal event that has at least one non-fatal precursor within the
+// window. maxItems caps the itemset size (0 = unlimited); when exceeded,
+// the most recent classes are kept.
+func BuildEventSets(events []preprocess.TaggedEvent, p Params, maxItems int) []EventSet {
+	window := p.Window()
+	var sets []EventSet
+	for i := range events {
+		if !events[i].Fatal {
+			continue
+		}
+		t := events[i].Time
+		seen := make(map[int]bool)
+		var items []int
+		// Walk backwards over the window, collecting the most recent
+		// distinct non-fatal classes first.
+		for j := i - 1; j >= 0; j-- {
+			if t-events[j].Time > window {
+				break
+			}
+			if events[j].Fatal || seen[events[j].Class] {
+				continue
+			}
+			seen[events[j].Class] = true
+			items = append(items, events[j].Class)
+			if maxItems > 0 && len(items) >= maxItems {
+				break
+			}
+		}
+		if len(items) == 0 {
+			continue
+		}
+		sets = append(sets, EventSet{
+			Items:  NormalizeBody(items),
+			Target: events[i].Class,
+		})
+	}
+	return sets
+}
+
+// FatalGaps returns the inter-arrival gaps (seconds) between consecutive
+// fatal events in a time-sorted tagged stream — the sample the
+// probability-distribution learner fits (Figure 5).
+func FatalGaps(events []preprocess.TaggedEvent) []float64 {
+	var gaps []float64
+	last := int64(-1)
+	for i := range events {
+		if !events[i].Fatal {
+			continue
+		}
+		if last >= 0 {
+			gap := float64(events[i].Time-last) / 1000
+			if gap > 0 {
+				gaps = append(gaps, gap)
+			}
+		}
+		last = events[i].Time
+	}
+	return gaps
+}
+
+// FatalTimes returns the timestamps (ms) of fatal events in the stream.
+func FatalTimes(events []preprocess.TaggedEvent) []int64 {
+	var ts []int64
+	for i := range events {
+		if events[i].Fatal {
+			ts = append(ts, events[i].Time)
+		}
+	}
+	return ts
+}

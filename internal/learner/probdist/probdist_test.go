@@ -1,0 +1,142 @@
+package probdist
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/learner"
+	"repro/internal/preprocess"
+	"repro/internal/raslog"
+	"repro/internal/stats"
+)
+
+func TestMineGapsPaperExample(t *testing.T) {
+	// Sample from the paper's SDSC fit and confirm the learner recovers a
+	// Weibull with a trigger near F^-1(0.6) ≈ 20,000 s.
+	truth := stats.Weibull{Scale: 19984.8, Shape: 0.507936}
+	r := stats.NewRNG(42)
+	gaps := make([]float64, 20000)
+	for i := range gaps {
+		gaps[i] = truth.Sample(r)
+	}
+	rules, err := New().MineGaps(gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("got %d rules, want 1", len(rules))
+	}
+	rule := rules[0]
+	if rule.Kind != learner.Distribution || rule.Target != learner.AnyFatal {
+		t.Errorf("rule = %+v", rule)
+	}
+	if rule.Dist.Name() != "weibull" {
+		t.Errorf("fitted family = %s, want weibull", rule.Dist.Name())
+	}
+	want := truth.Quantile(0.6)
+	if math.Abs(float64(rule.ElapsedSec)-want) > 0.15*want {
+		t.Errorf("trigger = %d s, want ~%.0f s", rule.ElapsedSec, want)
+	}
+}
+
+func TestMineGapsTooFew(t *testing.T) {
+	_, err := New().MineGaps([]float64{100, 200})
+	if !errors.Is(err, ErrTooFewFailures) {
+		t.Errorf("err = %v, want ErrTooFewFailures", err)
+	}
+}
+
+func TestMineGapsThresholdMovesTrigger(t *testing.T) {
+	truth := stats.Exponential{Scale: 10000}
+	r := stats.NewRNG(7)
+	gaps := make([]float64, 5000)
+	for i := range gaps {
+		gaps[i] = truth.Sample(r)
+	}
+	low := New()
+	low.Threshold = 0.3
+	high := New()
+	high.Threshold = 0.9
+	rl, err1 := low.MineGaps(gaps)
+	rh, err2 := high.MineGaps(gaps)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if rl[0].ElapsedSec >= rh[0].ElapsedSec {
+		t.Errorf("trigger not monotone in threshold: %d vs %d",
+			rl[0].ElapsedSec, rh[0].ElapsedSec)
+	}
+}
+
+func TestLearnFromTaggedStream(t *testing.T) {
+	mk := func(tSec int64, fatal bool) preprocess.TaggedEvent {
+		return preprocess.TaggedEvent{
+			Event: raslog.Event{Time: tSec * 1000}, Class: 1, Fatal: fatal,
+		}
+	}
+	var events []preprocess.TaggedEvent
+	truth := stats.Weibull{Scale: 15000, Shape: 0.6}
+	r := stats.NewRNG(11)
+	tm := int64(0)
+	for i := 0; i < 500; i++ {
+		tm += int64(truth.Sample(r))
+		events = append(events, mk(tm, true))
+	}
+	rules, err := New().Learn(events, learner.Params{WindowSec: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Dist == nil {
+		t.Fatalf("rules = %v", rules)
+	}
+	if rules[0].ElapsedSec <= 0 {
+		t.Errorf("non-positive trigger %d", rules[0].ElapsedSec)
+	}
+}
+
+func TestFitReportsAllFamilies(t *testing.T) {
+	mk := func(tSec int64) preprocess.TaggedEvent {
+		return preprocess.TaggedEvent{
+			Event: raslog.Event{Time: tSec * 1000}, Class: 1, Fatal: true,
+		}
+	}
+	var events []preprocess.TaggedEvent
+	r := stats.NewRNG(13)
+	tm := int64(0)
+	for i := 0; i < 300; i++ {
+		tm += int64(1000 + r.Intn(50000))
+		events = append(events, mk(tm))
+	}
+	best, fits, err := New().Fit(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fits) != 3 {
+		t.Fatalf("got %d fits", len(fits))
+	}
+	if best < 0 || fits[best].Dist == nil {
+		t.Fatalf("best = %d", best)
+	}
+}
+
+func TestFitTooFew(t *testing.T) {
+	if _, _, err := New().Fit(nil); !errors.Is(err, ErrTooFewFailures) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTriggerAtLeastOneSecond(t *testing.T) {
+	// Pathological tiny gaps must not produce a zero/negative trigger.
+	gaps := make([]float64, 50)
+	for i := range gaps {
+		gaps[i] = 0.001 + 0.0001*float64(i)
+	}
+	rules, err := New().MineGaps(gaps)
+	if err != nil {
+		t.Skipf("degenerate fit rejected: %v", err)
+	}
+	if rules[0].ElapsedSec < 1 {
+		t.Errorf("trigger %d < 1 s", rules[0].ElapsedSec)
+	}
+}

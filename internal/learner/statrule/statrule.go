@@ -1,0 +1,93 @@
+// Package statrule implements the statistical base learner (paper §4.1):
+// it estimates how often the occurrence of k failures within the
+// rule-generation window is followed by yet another failure, and keeps a
+// rule for every k whose estimated probability clears the threshold. The
+// paper's example: "if four failures occur within 300 seconds, then the
+// probability of another failure is 99%."
+package statrule
+
+import (
+	"repro/internal/learner"
+	"repro/internal/preprocess"
+)
+
+// Learner mines failure-count rules over fatal events.
+type Learner struct {
+	// Threshold is the minimum estimated probability for a rule to be
+	// kept (paper default 0.8).
+	Threshold float64
+	// MaxK bounds the run length examined (default 8).
+	MaxK int
+	// MinOccurrences is the minimum number of observations of a k-run
+	// before its probability estimate is trusted (default 10).
+	MinOccurrences int
+}
+
+// New returns a learner with the paper's parameters.
+func New() *Learner {
+	return &Learner{Threshold: 0.8, MaxK: 8, MinOccurrences: 10}
+}
+
+// Name implements learner.Learner.
+func (l *Learner) Name() string { return "statistical" }
+
+// Learn implements learner.Learner. For each k it estimates
+//
+//	P(another fatal within W_P | k fatals within W_P just observed)
+//
+// over the training stream and emits a Statistical rule when the estimate
+// is both well-supported and above Threshold.
+func (l *Learner) Learn(events []preprocess.TaggedEvent, p learner.Params) ([]learner.Rule, error) {
+	times := learner.FatalTimes(events)
+	return l.MineTimes(times, p)
+}
+
+// MineTimes mines directly from fatal timestamps (ms); exposed for tests
+// and tools that already extracted the failure record.
+func (l *Learner) MineTimes(times []int64, p learner.Params) ([]learner.Rule, error) {
+	window := p.Window()
+	maxK := l.MaxK
+	if maxK <= 0 {
+		maxK = 8
+	}
+	// runLen[i]: how many fatals (including i) fall within the window
+	// ending at times[i].
+	occurrences := make([]int, maxK+1)
+	successes := make([]int, maxK+1)
+	lo := 0
+	for i := range times {
+		for times[i]-times[lo] > window {
+			lo++
+		}
+		run := i - lo + 1
+		if run > maxK {
+			run = maxK
+		}
+		followed := i+1 < len(times) && times[i+1]-times[i] <= window
+		// A run of length r is an observation for every k <= r.
+		for k := 1; k <= run; k++ {
+			occurrences[k]++
+			if followed {
+				successes[k]++
+			}
+		}
+	}
+	var rules []learner.Rule
+	for k := 1; k <= maxK; k++ {
+		if occurrences[k] < l.MinOccurrences {
+			continue
+		}
+		prob := float64(successes[k]) / float64(occurrences[k])
+		if prob < l.Threshold {
+			continue
+		}
+		rules = append(rules, learner.Rule{
+			Kind:       learner.Statistical,
+			Count:      k,
+			Target:     learner.AnyFatal,
+			Confidence: prob,
+			Support:    float64(occurrences[k]) / float64(len(times)),
+		})
+	}
+	return rules, nil
+}

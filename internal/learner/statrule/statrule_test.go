@@ -1,0 +1,164 @@
+package statrule
+
+import (
+	"testing"
+
+	"repro/internal/learner"
+	"repro/internal/preprocess"
+	"repro/internal/raslog"
+)
+
+var p300 = learner.Params{WindowSec: 300}
+
+func TestMineBurstyStream(t *testing.T) {
+	// Long failure storms (10 fatals spaced 50 s apart) separated by
+	// hours: seeing k fatals within 300 s strongly predicts another.
+	var times []int64
+	for b := int64(0); b < 40; b++ {
+		base := b * 7_200_000 // every 2 h
+		for i := int64(0); i < 10; i++ {
+			times = append(times, base+i*50_000)
+		}
+	}
+	l := New()
+	rules, err := l.MineTimes(times, p300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules mined from bursty stream")
+	}
+	hasK := map[int]float64{}
+	for _, r := range rules {
+		if r.Kind != learner.Statistical {
+			t.Fatalf("wrong kind %v", r.Kind)
+		}
+		if r.Target != learner.AnyFatal {
+			t.Fatalf("statistical rule has class target %d", r.Target)
+		}
+		hasK[r.Count] = r.Confidence
+	}
+	// 9 of 10 burst fatals are followed within 300 s: k=1 passes at 0.9,
+	// and higher-k runs (only reachable inside a storm) pass too.
+	if p, ok := hasK[1]; !ok || p < 0.85 {
+		t.Errorf("k=1 rule = %v, want p~0.9", hasK)
+	}
+	if p, ok := hasK[2]; !ok || p < 0.8 {
+		t.Errorf("k=2 rule = %v, want p>=0.8", hasK)
+	}
+}
+
+func TestMineIsolatedFailuresYieldNothing(t *testing.T) {
+	var times []int64
+	for i := int64(0); i < 100; i++ {
+		times = append(times, i*3_600_000) // hourly, never within 300 s
+	}
+	rules, err := New().MineTimes(times, p300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 0 {
+		t.Errorf("rules from isolated failures: %v", rules)
+	}
+}
+
+func TestMineMinOccurrences(t *testing.T) {
+	// One burst only: k=2 occurs 4 times < MinOccurrences 10.
+	times := []int64{0, 50_000, 100_000, 150_000, 200_000}
+	rules, err := New().MineTimes(times, p300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 0 {
+		t.Errorf("under-supported rules mined: %v", rules)
+	}
+}
+
+func TestMineMaxKBounds(t *testing.T) {
+	l := New()
+	l.MaxK = 3
+	l.MinOccurrences = 1
+	var times []int64
+	for b := int64(0); b < 20; b++ {
+		base := b * 7_200_000
+		for i := int64(0); i < 10; i++ {
+			times = append(times, base+i*20_000)
+		}
+	}
+	rules, err := l.MineTimes(times, p300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if r.Count > 3 {
+			t.Errorf("rule k=%d beyond MaxK", r.Count)
+		}
+	}
+}
+
+func TestMineEmpty(t *testing.T) {
+	rules, err := New().MineTimes(nil, p300)
+	if err != nil || len(rules) != 0 {
+		t.Errorf("MineTimes(nil) = %v, %v", rules, err)
+	}
+}
+
+func TestProbabilityEstimateExact(t *testing.T) {
+	// Pairs of fatals 100 s apart, pairs separated by hours:
+	// k=1 observations: every fatal (2N); successes: first of each pair (N)
+	// -> p(k=1) = 0.5. k=2: observations N (second of pair), successes 0.
+	var times []int64
+	for b := int64(0); b < 30; b++ {
+		base := b * 7_200_000
+		times = append(times, base, base+100_000)
+	}
+	l := New()
+	l.Threshold = 0 // keep everything measurable
+	l.MinOccurrences = 1
+	rules, err := l.MineTimes(times, p300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byK := map[int]learner.Rule{}
+	for _, r := range rules {
+		byK[r.Count] = r
+	}
+	if r, ok := byK[1]; !ok || r.Confidence != 0.5 {
+		t.Errorf("k=1 rule = %+v, want p=0.5", r)
+	}
+	if r, ok := byK[2]; !ok || r.Confidence != 0 {
+		t.Errorf("k=2 rule = %+v, want p=0", r)
+	}
+}
+
+func TestLearnExtractsFatalsOnly(t *testing.T) {
+	mk := func(tSec int64, fatal bool) preprocess.TaggedEvent {
+		return preprocess.TaggedEvent{
+			Event: raslog.Event{Time: tSec * 1000}, Class: 1, Fatal: fatal,
+		}
+	}
+	var events []preprocess.TaggedEvent
+	// Dense non-fatal noise plus fatal bursts.
+	for i := int64(0); i < 2000; i++ {
+		events = append(events, mk(i*30, false))
+	}
+	for b := int64(0); b < 30; b++ {
+		base := b * 7_200
+		for i := int64(0); i < 8; i++ {
+			events = append(events, mk(base+i*40, true))
+		}
+	}
+	// Re-sort by time.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].Time < events[j-1].Time; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+	rules, err := New().Learn(events, p300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Error("noise drowned out the fatal bursts")
+	}
+}

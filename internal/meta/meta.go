@@ -1,0 +1,127 @@
+// Package meta implements the meta-learner (paper §4.1, Figure 6) and the
+// knowledge repository it maintains.
+//
+// The meta-learner is a mixture-of-experts ensemble: it runs all three
+// base learners over the training set, merges their candidate rules, and
+// (normally) passes them through the reviser. The resulting rule set is
+// what the predictor consults at runtime, with the fixed expert ordering
+// association → statistical → probability distribution encoded in package
+// predictor. The repository tracks rule churn across retrainings — the
+// unchanged/added/removed counts of Figure 12.
+package meta
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/learner"
+	"repro/internal/learner/assoc"
+	"repro/internal/learner/bayes"
+	"repro/internal/learner/probdist"
+	"repro/internal/learner/statrule"
+	"repro/internal/preprocess"
+	"repro/internal/reviser"
+)
+
+// MetaLearner bundles the three base learners and the reviser.
+type MetaLearner struct {
+	Assoc *assoc.Learner
+	Stat  *statrule.Learner
+	Prob  *probdist.Learner
+	// Extra holds additional base learners beyond the paper's three —
+	// the paper notes "other predictive methods can be easily
+	// incorporated into our framework", and the bayes package provides
+	// one (see AddBayes). Extras run after the core three.
+	Extra []learner.Learner
+	// Reviser filters the merged candidates; set UseReviser false to
+	// measure its contribution (Figure 11).
+	Reviser    *reviser.Reviser
+	UseReviser bool
+}
+
+// New returns a meta-learner with every component at the paper's defaults.
+func New() *MetaLearner {
+	return &MetaLearner{
+		Assoc:      assoc.New(),
+		Stat:       statrule.New(),
+		Prob:       probdist.New(),
+		Reviser:    reviser.New(),
+		UseReviser: true,
+	}
+}
+
+// AddBayes appends the naive-Bayes indicator learner (package bayes) to
+// the ensemble, exercising the paper's claim that other predictive
+// methods are easily incorporated. Returns m for chaining.
+func (m *MetaLearner) AddBayes() *MetaLearner {
+	m.Extra = append(m.Extra, bayes.New())
+	return m
+}
+
+// TrainReport is the outcome of one (re)training pass.
+type TrainReport struct {
+	// CandidatesByLearner holds each base learner's raw output.
+	CandidatesByLearner map[string][]learner.Rule
+	// Candidates is the merged, ID-deduplicated candidate set.
+	Candidates []learner.Rule
+	// Kept is the final rule set after revision (== Candidates when the
+	// reviser is disabled).
+	Kept []learner.Rule
+	// Scores carries the reviser's per-rule scorecard (nil when disabled).
+	Scores []reviser.RuleScore
+	// LearnerDurations and ReviseDuration are the Table 5 timings.
+	LearnerDurations map[string]time.Duration
+	ReviseDuration   time.Duration
+}
+
+// Train runs every base learner on the training stream, merges and
+// revises. Learners that legitimately find nothing (e.g. too few failures
+// for a distribution fit) contribute zero rules rather than failing the
+// pass.
+func (m *MetaLearner) Train(events []preprocess.TaggedEvent, p learner.Params) (*TrainReport, error) {
+	report := &TrainReport{
+		CandidatesByLearner: make(map[string][]learner.Rule, 3),
+		LearnerDurations:    make(map[string]time.Duration, 3),
+	}
+	baseLearners := []learner.Learner{m.Assoc, m.Stat, m.Prob}
+	baseLearners = append(baseLearners, m.Extra...)
+	for _, bl := range baseLearners {
+		start := time.Now()
+		rules, err := bl.Learn(events, p)
+		report.LearnerDurations[bl.Name()] = time.Since(start)
+		if err != nil {
+			if errors.Is(err, probdist.ErrTooFewFailures) {
+				continue
+			}
+			return nil, fmt.Errorf("meta: %s learner: %w", bl.Name(), err)
+		}
+		report.CandidatesByLearner[bl.Name()] = rules
+		report.Candidates = append(report.Candidates, rules...)
+	}
+	report.Candidates = dedupe(report.Candidates)
+
+	start := time.Now()
+	if m.UseReviser && m.Reviser != nil {
+		report.Kept, report.Scores = m.Reviser.Revise(report.Candidates, events, p)
+	} else {
+		report.Kept = report.Candidates
+	}
+	report.ReviseDuration = time.Since(start)
+	return report, nil
+}
+
+// dedupe removes rules with duplicate IDs, keeping the first (stable).
+func dedupe(rules []learner.Rule) []learner.Rule {
+	seen := make(map[string]bool, len(rules))
+	out := rules[:0]
+	for _, r := range rules {
+		id := r.ID()
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+// Package predictor implements the event-driven online predictor of the
+// framework (paper §4.3, Algorithm 2). The predictor holds the current
+// rule set from the knowledge repository, watches the preprocessed event
+// stream, and triggers a warning whenever an occurring event completes a
+// rule within the prediction window W_P.
+//
+// Algorithm 2's two lookup structures appear here as:
+//
+//   - E-List: eList maps every event class to the association rules whose
+//     body contains it (the "failures that may be triggered by this
+//     event" list);
+//   - F-List: the rules themselves, each carrying its full trigger set,
+//     checked for containment in the recent-events window.
+//
+// The predictor also embodies the meta-learner's mixture-of-experts
+// ordering (paper §4.1, Figure 6): on a non-fatal event it consults
+// association rules first; on a fatal event it consults statistical rules;
+// if no rule of the preferred family matches, it falls back to the fitted
+// failure-probability distribution.
+package predictor
+
+import (
+	"sort"
+
+	"repro/internal/learner"
+	"repro/internal/preprocess"
+)
+
+// Predictor is the online, event-driven prediction engine.
+type Predictor struct {
+	// GlobalDedup merges warning deduplication across expert families:
+	// while any warning is open, no family may issue another. This is the
+	// right counting for the full ensemble — the three experts predict
+	// the same thing ("a failure within W_P"), so overlapping alarms are
+	// one prediction. Leave it false when isolating a single family
+	// (per-learner analysis). Set before the first Observe call.
+	GlobalDedup bool
+	// DedupWindowSec is the minimum spacing between warnings (per family,
+	// or overall under GlobalDedup). Zero means "use W_P". Keeping it at
+	// the base rule-generation window while sweeping W_P reproduces the
+	// paper's Figure 13 trade-off: wider prediction windows admit *more*
+	// alarms (higher recall, more false positives), they do not ration
+	// them.
+	DedupWindowSec int64
+
+	windowMs int64
+	rules    []learner.Rule
+
+	eList     map[int][]int // class -> indexes of association rules using it
+	statRules []int         // indexes of statistical rules, ascending k
+	distRules []int         // indexes of distribution rules
+
+	// Sliding window of recent events (Algorithm 2 step 1).
+	recent     []recentEvent
+	classCount map[int]int // class -> multiplicity within the window
+	fatalTimes []int64     // fatal timestamps within the window
+	lastFatal  int64       // ms; -1 until the first fatal is seen
+
+	// lastWarn deduplicates per expert family: at most one open warning
+	// per family at a time. Families are deduplicated independently so a
+	// chatty fallback expert cannot starve the prioritized ones.
+	lastWarn [3]int64 // ms of the last emitted warning per Kind; -1 initially
+}
+
+// Warning is one failure prediction: "a failure is expected within
+// (Time, Deadline]".
+type Warning struct {
+	Time     int64 // ms; the triggering event's timestamp
+	Deadline int64 // ms; Time + W_P
+	Source   learner.Kind
+	RuleID   string
+	// Target is the predicted fatal class for association rules, or
+	// learner.AnyFatal for the class-agnostic families.
+	Target int
+}
+
+type recentEvent struct {
+	time  int64
+	class int
+	fatal bool
+}
+
+// New builds a predictor over a rule set. The rule slice is copied.
+func New(rules []learner.Rule, p learner.Params) *Predictor {
+	pr := &Predictor{
+		windowMs:   p.Window(),
+		rules:      append([]learner.Rule(nil), rules...),
+		eList:      make(map[int][]int),
+		classCount: make(map[int]int),
+		lastFatal:  -1,
+		lastWarn:   [3]int64{-1, -1, -1},
+	}
+	for i, r := range pr.rules {
+		switch r.Kind {
+		case learner.Association:
+			for _, class := range r.Body {
+				pr.eList[class] = append(pr.eList[class], i)
+			}
+		case learner.Statistical:
+			pr.statRules = append(pr.statRules, i)
+		case learner.Distribution:
+			pr.distRules = append(pr.distRules, i)
+		}
+	}
+	sort.Slice(pr.statRules, func(a, b int) bool {
+		return pr.rules[pr.statRules[a]].Count < pr.rules[pr.statRules[b]].Count
+	})
+	return pr
+}
+
+// Rules returns the predictor's rule set (shared; treat as read-only).
+func (pr *Predictor) Rules() []learner.Rule { return pr.rules }
+
+// LastFatal returns the timestamp (ms) of the last fatal event observed,
+// or -1 before the first one.
+func (pr *Predictor) LastFatal() int64 { return pr.lastFatal }
+
+// SeedLastFatal primes the elapsed-time tracker, so a predictor swapped in
+// at a retraining boundary keeps the distribution expert armed.
+func (pr *Predictor) SeedLastFatal(t int64) {
+	if t > pr.lastFatal {
+		pr.lastFatal = t
+	}
+}
+
+// Reset clears runtime state (the recent window, elapsed-time tracking and
+// warning deduplication) without touching the rules.
+func (pr *Predictor) Reset() {
+	pr.recent = pr.recent[:0]
+	pr.classCount = make(map[int]int)
+	pr.fatalTimes = pr.fatalTimes[:0]
+	pr.lastFatal = -1
+	pr.lastWarn = [3]int64{-1, -1, -1}
+}
+
+// Observe feeds one event (events must arrive in time order) and returns
+// the warning it triggers, if any. At most one warning per expert family
+// is emitted per prediction window: a trigger while the family's previous
+// warning is still open is suppressed, which is what keeps false-alarm
+// counting honest.
+func (pr *Predictor) Observe(e preprocess.TaggedEvent) []Warning {
+	pr.evict(e.Time)
+
+	var w *Warning
+	if e.Fatal {
+		// Statistical rules fire on fatal events: the current failure
+		// plus the window's earlier failures form the k-run.
+		runLen := len(pr.fatalTimes) + 1
+		for _, idx := range pr.statRules {
+			if runLen >= pr.rules[idx].Count {
+				w = pr.warning(e.Time, idx)
+				break // smallest matching k wins; others say the same thing
+			}
+		}
+	} else {
+		// Association rules fire on non-fatal events that complete a body.
+		w = pr.matchAssociation(e)
+	}
+	if w == nil {
+		w = pr.matchDistribution(e.Time)
+	}
+
+	pr.admit(e)
+
+	if w == nil {
+		return nil
+	}
+	// Deduplicate: one open warning per dedup interval — per expert
+	// family, or across all of them under GlobalDedup.
+	dedupMs := pr.windowMs
+	if pr.DedupWindowSec > 0 {
+		dedupMs = pr.DedupWindowSec * 1000
+	}
+	if pr.GlobalDedup {
+		for _, last := range pr.lastWarn {
+			if last >= 0 && w.Time-last < dedupMs {
+				return nil
+			}
+		}
+	} else if last := pr.lastWarn[w.Source]; last >= 0 && w.Time-last < dedupMs {
+		return nil
+	}
+	pr.lastWarn[w.Source] = w.Time
+	return []Warning{*w}
+}
+
+// ObserveAll feeds a whole time-sorted stream and collects every warning.
+func (pr *Predictor) ObserveAll(events []preprocess.TaggedEvent) []Warning {
+	var out []Warning
+	for i := range events {
+		out = append(out, pr.Observe(events[i])...)
+	}
+	return out
+}
+
+// matchAssociation checks whether the incoming non-fatal event completes
+// any association rule's body within the window (Algorithm 2 steps 2–4).
+func (pr *Predictor) matchAssociation(e preprocess.TaggedEvent) *Warning {
+	candidates := pr.eList[e.Class]
+	for _, idx := range candidates {
+		rule := &pr.rules[idx]
+		matched := true
+		for _, class := range rule.Body {
+			if class == e.Class {
+				continue // the incoming event supplies this item
+			}
+			if pr.classCount[class] == 0 {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			return pr.warning(e.Time, idx)
+		}
+	}
+	return nil
+}
+
+// matchDistribution applies the fallback expert: warn when the elapsed
+// time since the last failure pushes the fitted CDF past its threshold.
+func (pr *Predictor) matchDistribution(now int64) *Warning {
+	if pr.lastFatal < 0 {
+		return nil
+	}
+	elapsed := (now - pr.lastFatal) / 1000
+	for _, idx := range pr.distRules {
+		if elapsed > pr.rules[idx].ElapsedSec {
+			return pr.warning(now, idx)
+		}
+	}
+	return nil
+}
+
+func (pr *Predictor) warning(now int64, ruleIdx int) *Warning {
+	r := &pr.rules[ruleIdx]
+	return &Warning{
+		Time:     now,
+		Deadline: now + pr.windowMs,
+		Source:   r.Kind,
+		RuleID:   r.ID(),
+		Target:   r.Target,
+	}
+}
+
+// evict drops window entries older than W_P before now.
+func (pr *Predictor) evict(now int64) {
+	cut := 0
+	for cut < len(pr.recent) && now-pr.recent[cut].time > pr.windowMs {
+		re := pr.recent[cut]
+		if n := pr.classCount[re.class] - 1; n > 0 {
+			pr.classCount[re.class] = n
+		} else {
+			delete(pr.classCount, re.class)
+		}
+		cut++
+	}
+	if cut > 0 {
+		pr.recent = append(pr.recent[:0], pr.recent[cut:]...)
+	}
+	fcut := 0
+	for fcut < len(pr.fatalTimes) && now-pr.fatalTimes[fcut] > pr.windowMs {
+		fcut++
+	}
+	if fcut > 0 {
+		pr.fatalTimes = append(pr.fatalTimes[:0], pr.fatalTimes[fcut:]...)
+	}
+}
+
+// admit appends the event to the window (Algorithm 2 step 1).
+func (pr *Predictor) admit(e preprocess.TaggedEvent) {
+	pr.recent = append(pr.recent, recentEvent{time: e.Time, class: e.Class, fatal: e.Fatal})
+	pr.classCount[e.Class]++
+	if e.Fatal {
+		pr.fatalTimes = append(pr.fatalTimes, e.Time)
+		pr.lastFatal = e.Time
+	}
+}

@@ -1,0 +1,177 @@
+package predictor
+
+import (
+	"testing"
+
+	"repro/internal/learner"
+	"repro/internal/preprocess"
+	"repro/internal/raslog"
+	"repro/internal/stats"
+)
+
+// randomRules builds a small random rule set across all three families.
+func randomRules(r *stats.RNG) []learner.Rule {
+	var rules []learner.Rule
+	for i, n := 0, 1+r.Intn(6); i < n; i++ {
+		body := []int{r.Intn(20)}
+		if r.Bool(0.5) {
+			body = append(body, r.Intn(20))
+		}
+		rules = append(rules, learner.Rule{
+			Kind: learner.Association, Body: learner.NormalizeBody(body),
+			Target: 100 + r.Intn(5),
+		})
+	}
+	for i, n := 0, r.Intn(3); i < n; i++ {
+		rules = append(rules, learner.Rule{
+			Kind: learner.Statistical, Count: 2 + r.Intn(4), Target: learner.AnyFatal,
+		})
+	}
+	if r.Bool(0.7) {
+		rules = append(rules, learner.Rule{
+			Kind: learner.Distribution, Target: learner.AnyFatal,
+			Dist:       stats.Weibull{Scale: 5000, Shape: 0.6},
+			ElapsedSec: int64(600 + r.Intn(5000)),
+		})
+	}
+	return rules
+}
+
+// randomStream builds a time-sorted tagged stream.
+func randomStream(r *stats.RNG, n int) []preprocess.TaggedEvent {
+	events := make([]preprocess.TaggedEvent, n)
+	tm := int64(0)
+	for i := range events {
+		tm += r.Int63n(400_000)
+		class := r.Intn(20)
+		fatal := r.Bool(0.15)
+		if fatal {
+			class = 100 + r.Intn(5)
+		}
+		events[i] = preprocess.TaggedEvent{
+			Event: raslog.Event{Time: tm}, Class: class, Fatal: fatal,
+		}
+	}
+	return events
+}
+
+// TestPredictorInvariantsProperty drives random rule sets over random
+// streams and asserts the structural invariants every consumer relies on:
+// warnings are time-ordered, windows are exactly W_P, sources carry rules
+// of their own family, and the dedup spacing holds per family.
+func TestPredictorInvariantsProperty(t *testing.T) {
+	seedRNG := stats.NewRNG(2024)
+	for trial := 0; trial < 60; trial++ {
+		r := stats.NewRNG(seedRNG.Uint64())
+		rules := randomRules(r)
+		events := randomStream(r, 400)
+		p := learner.Params{WindowSec: int64(60 + r.Intn(600))}
+		pr := New(rules, p)
+		pr.GlobalDedup = r.Bool(0.5)
+
+		var lastWarnTime int64 = -1
+		lastBySource := map[learner.Kind]int64{}
+		for _, e := range events {
+			for _, w := range pr.Observe(e) {
+				if w.Time != e.Time {
+					t.Fatalf("trial %d: warning time %d != event time %d",
+						trial, w.Time, e.Time)
+				}
+				if w.Deadline-w.Time != p.Window() {
+					t.Fatalf("trial %d: window %d != W_P %d",
+						trial, w.Deadline-w.Time, p.Window())
+				}
+				if w.Time < lastWarnTime {
+					t.Fatalf("trial %d: warnings out of order", trial)
+				}
+				lastWarnTime = w.Time
+				if last, ok := lastBySource[w.Source]; ok {
+					if w.Time-last < p.Window() {
+						t.Fatalf("trial %d: %v warnings %d ms apart (< W_P %d)",
+							trial, w.Source, w.Time-last, p.Window())
+					}
+				}
+				lastBySource[w.Source] = w.Time
+				if w.RuleID == "" {
+					t.Fatalf("trial %d: empty rule id", trial)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictorMatchesScorerSingleRule cross-checks the two independent
+// matching implementations: for one rule, the online predictor's warning
+// stream must match the reviser-style scorer's outcome when evaluated the
+// same way. (The reviser scorer lives in another package; here we verify
+// the predictor against a brute-force oracle instead.)
+func TestPredictorAgainstBruteForceOracle(t *testing.T) {
+	seedRNG := stats.NewRNG(77)
+	for trial := 0; trial < 40; trial++ {
+		r := stats.NewRNG(seedRNG.Uint64())
+		body := []int{r.Intn(6), 6 + r.Intn(6)}
+		rule := learner.Rule{Kind: learner.Association,
+			Body: learner.NormalizeBody(body), Target: 100}
+		p := learner.Params{WindowSec: 300}
+		events := randomStream(r, 300)
+
+		pr := New([]learner.Rule{rule}, p)
+		var got []int64
+		for _, e := range events {
+			for _, w := range pr.Observe(e) {
+				got = append(got, w.Time)
+			}
+		}
+
+		// Oracle: scan windows directly.
+		var want []int64
+		lastWarn := int64(-1)
+		for i, e := range events {
+			if e.Fatal || !contains(rule.Body, e.Class) {
+				continue
+			}
+			matched := true
+			for _, class := range rule.Body {
+				if class == e.Class {
+					continue
+				}
+				ok := false
+				for j := i - 1; j >= 0; j-- {
+					if e.Time-events[j].Time > p.Window() {
+						break
+					}
+					if events[j].Class == class {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					matched = false
+					break
+				}
+			}
+			if matched && (lastWarn < 0 || e.Time-lastWarn >= p.Window()) {
+				want = append(want, e.Time)
+				lastWarn = e.Time
+			}
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: predictor %d warnings, oracle %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: warning %d at %d, oracle %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,231 @@
+package predictor
+
+import (
+	"testing"
+
+	"repro/internal/learner"
+	"repro/internal/preprocess"
+	"repro/internal/raslog"
+	"repro/internal/stats"
+)
+
+var p300 = learner.Params{WindowSec: 300}
+
+func mk(tSec int64, class int, fatal bool) preprocess.TaggedEvent {
+	return preprocess.TaggedEvent{
+		Event: raslog.Event{Time: tSec * 1000}, Class: class, Fatal: fatal,
+	}
+}
+
+func assocRule(target int, body ...int) learner.Rule {
+	return learner.Rule{Kind: learner.Association,
+		Body: learner.NormalizeBody(body), Target: target, Confidence: 1}
+}
+
+func TestAssociationRuleFires(t *testing.T) {
+	pr := New([]learner.Rule{assocRule(99, 1, 2)}, p300)
+	if w := pr.Observe(mk(0, 1, false)); len(w) != 0 {
+		t.Fatal("partial body fired")
+	}
+	w := pr.Observe(mk(100, 2, false))
+	if len(w) != 1 {
+		t.Fatal("completed body did not fire")
+	}
+	if w[0].Target != 99 || w[0].Source != learner.Association {
+		t.Errorf("warning = %+v", w[0])
+	}
+	if w[0].Deadline-w[0].Time != 300_000 {
+		t.Errorf("window = %d ms", w[0].Deadline-w[0].Time)
+	}
+}
+
+func TestAssociationWindowExpiry(t *testing.T) {
+	pr := New([]learner.Rule{assocRule(99, 1, 2)}, p300)
+	pr.Observe(mk(0, 1, false))
+	// 400 s later the first item has expired.
+	if w := pr.Observe(mk(400, 2, false)); len(w) != 0 {
+		t.Fatal("fired on expired window item")
+	}
+}
+
+func TestAssociationSingleEventSuppliesOnlyItsClass(t *testing.T) {
+	pr := New([]learner.Rule{assocRule(99, 1, 1)}, p300)
+	// Body {1} after normalization — a single occurrence fires it.
+	if w := pr.Observe(mk(0, 1, false)); len(w) != 1 {
+		t.Fatal("singleton body did not fire")
+	}
+}
+
+func TestStatisticalRuleFiresOnKthFatal(t *testing.T) {
+	rule := learner.Rule{Kind: learner.Statistical, Count: 3,
+		Target: learner.AnyFatal, Confidence: 0.9}
+	pr := New([]learner.Rule{rule}, p300)
+	if w := pr.Observe(mk(0, 90, true)); len(w) != 0 {
+		t.Fatal("fired at k=1")
+	}
+	if w := pr.Observe(mk(50, 90, true)); len(w) != 0 {
+		t.Fatal("fired at k=2")
+	}
+	w := pr.Observe(mk(100, 90, true))
+	if len(w) != 1 || w[0].Source != learner.Statistical {
+		t.Fatalf("did not fire at k=3: %v", w)
+	}
+}
+
+func TestStatisticalRuleRespectsWindow(t *testing.T) {
+	rule := learner.Rule{Kind: learner.Statistical, Count: 2, Target: learner.AnyFatal}
+	pr := New([]learner.Rule{rule}, p300)
+	pr.Observe(mk(0, 90, true))
+	// Second fatal 400 s later: the first is out of the window.
+	if w := pr.Observe(mk(400, 90, true)); len(w) != 0 {
+		t.Fatal("counted a fatal outside the window")
+	}
+}
+
+func TestStatisticalNotTriggeredByNonFatal(t *testing.T) {
+	rule := learner.Rule{Kind: learner.Statistical, Count: 1, Target: learner.AnyFatal}
+	pr := New([]learner.Rule{rule}, p300)
+	if w := pr.Observe(mk(0, 1, false)); len(w) != 0 {
+		t.Fatal("statistical rule fired on a non-fatal event")
+	}
+}
+
+func distRule(elapsedSec int64) learner.Rule {
+	return learner.Rule{Kind: learner.Distribution, Target: learner.AnyFatal,
+		Dist: stats.Weibull{Scale: 20000, Shape: 0.5}, ElapsedSec: elapsedSec,
+		Confidence: 0.6}
+}
+
+func TestDistributionRuleFiresAfterElapsed(t *testing.T) {
+	pr := New([]learner.Rule{distRule(1000)}, p300)
+	// No fatal seen yet: the elapsed clock is not armed.
+	if w := pr.Observe(mk(5000, 1, false)); len(w) != 0 {
+		t.Fatal("fired before any fatal was seen")
+	}
+	pr.Observe(mk(6000, 90, true)) // arms the clock
+	if w := pr.Observe(mk(6500, 1, false)); len(w) != 0 {
+		t.Fatal("fired before the trigger point")
+	}
+	w := pr.Observe(mk(7100, 1, false)) // 1100 s elapsed > 1000
+	if len(w) != 1 || w[0].Source != learner.Distribution {
+		t.Fatalf("distribution rule did not fire: %v", w)
+	}
+}
+
+func TestDistributionFallbackOrderOnFatal(t *testing.T) {
+	// With stat + dist rules, a fatal that matches the stat rule reports
+	// the statistical source (mixture-of-experts ordering).
+	rules := []learner.Rule{
+		{Kind: learner.Statistical, Count: 2, Target: learner.AnyFatal},
+		distRule(100),
+	}
+	pr := New(rules, p300)
+	pr.Observe(mk(0, 90, true))
+	w := pr.Observe(mk(50, 90, true)) // k=2 met; elapsed 50 < 100 anyway
+	if len(w) != 1 || w[0].Source != learner.Statistical {
+		t.Fatalf("expected statistical warning, got %v", w)
+	}
+	// A fatal long after: stat rule unmet (k=1), falls back to dist.
+	w = pr.Observe(mk(5000, 90, true))
+	if len(w) != 1 || w[0].Source != learner.Distribution {
+		t.Fatalf("expected distribution fallback, got %v", w)
+	}
+}
+
+func TestAssociationPreferredOverDistOnNonFatal(t *testing.T) {
+	rules := []learner.Rule{assocRule(99, 1), distRule(100)}
+	pr := New(rules, p300)
+	pr.Observe(mk(0, 90, true)) // arm elapsed clock
+	w := pr.Observe(mk(500, 1, false))
+	if len(w) != 1 || w[0].Source != learner.Association {
+		t.Fatalf("expected association warning, got %v", w)
+	}
+}
+
+func TestWarningDeduplication(t *testing.T) {
+	pr := New([]learner.Rule{assocRule(99, 1)}, p300)
+	if w := pr.Observe(mk(0, 1, false)); len(w) != 1 {
+		t.Fatal("first warning missing")
+	}
+	// Repeated triggers within the open window are suppressed.
+	if w := pr.Observe(mk(100, 1, false)); len(w) != 0 {
+		t.Fatal("duplicate warning emitted")
+	}
+	// After the window closes a new warning may fire.
+	if w := pr.Observe(mk(400, 1, false)); len(w) != 1 {
+		t.Fatal("post-window warning suppressed")
+	}
+}
+
+func TestSmallestKStatRuleWins(t *testing.T) {
+	rules := []learner.Rule{
+		{Kind: learner.Statistical, Count: 4, Target: learner.AnyFatal},
+		{Kind: learner.Statistical, Count: 2, Target: learner.AnyFatal},
+	}
+	pr := New(rules, p300)
+	pr.Observe(mk(0, 90, true))
+	w := pr.Observe(mk(10, 90, true))
+	if len(w) != 1 || w[0].RuleID != "stat:k=2" {
+		t.Fatalf("warning = %v, want stat:k=2", w)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	pr := New([]learner.Rule{assocRule(99, 1, 2), distRule(100)}, p300)
+	pr.Observe(mk(0, 1, false))
+	pr.Observe(mk(1, 90, true))
+	pr.Reset()
+	if pr.LastFatal() != -1 {
+		t.Error("Reset kept lastFatal")
+	}
+	if w := pr.Observe(mk(2, 2, false)); len(w) != 0 {
+		t.Error("Reset kept window contents")
+	}
+}
+
+func TestSeedLastFatal(t *testing.T) {
+	pr := New([]learner.Rule{distRule(100)}, p300)
+	pr.SeedLastFatal(1_000_000)
+	w := pr.Observe(mk(1200, 1, false)) // 200 s elapsed > 100
+	if len(w) != 1 {
+		t.Fatal("seeded elapsed clock did not arm the distribution rule")
+	}
+	// Seeding backwards must not rewind.
+	pr.SeedLastFatal(0)
+	if pr.LastFatal() != 1_000_000 {
+		t.Error("SeedLastFatal rewound the clock")
+	}
+}
+
+func TestObserveAllCollects(t *testing.T) {
+	pr := New([]learner.Rule{assocRule(99, 1)}, p300)
+	events := []preprocess.TaggedEvent{
+		mk(0, 1, false), mk(1000, 1, false), mk(2000, 1, false),
+	}
+	ws := pr.ObserveAll(events)
+	if len(ws) != 3 {
+		t.Errorf("ObserveAll returned %d warnings, want 3", len(ws))
+	}
+}
+
+func TestNoRulesNoWarnings(t *testing.T) {
+	pr := New(nil, p300)
+	for i := int64(0); i < 100; i++ {
+		if w := pr.Observe(mk(i*10, int(i%5), i%7 == 0)); len(w) != 0 {
+			t.Fatal("warning from empty rule set")
+		}
+	}
+}
+
+func TestRulesAccessor(t *testing.T) {
+	rules := []learner.Rule{assocRule(99, 1)}
+	pr := New(rules, p300)
+	if len(pr.Rules()) != 1 {
+		t.Error("Rules() lost rules")
+	}
+	// The constructor copies: mutating the input must not affect it.
+	rules[0].Target = 0
+	if pr.Rules()[0].Target != 99 {
+		t.Error("predictor shares caller's slice")
+	}
+}

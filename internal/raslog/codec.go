@@ -1,0 +1,133 @@
+package raslog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text codec writes one event per line with eight pipe-separated
+// fields mirroring Table 1:
+//
+//	RECORD_ID|EVENT_TYPE|EVENT_TIME|JOB_ID|LOCATION|FACILITY|SEVERITY|ENTRY
+//
+// EVENT_TIME is recorded in whole seconds — like the production logs —
+// even though events carry millisecond timestamps internally. Reading a
+// log back therefore loses sub-second detail, which is precisely the
+// duplicate-timestamp behaviour the paper's filter contends with.
+
+const codecFields = 8
+
+// WriteLog writes l to w in the text format. It returns the number of
+// bytes written.
+func WriteLog(w io.Writer, l *Log) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var n int64
+	for i := range l.Events {
+		e := &l.Events[i]
+		written, err := fmt.Fprintf(bw, "%d|%s|%d|%d|%s|%s|%s|%s\n",
+			e.RecordID, sanitize(e.Type), e.Seconds(), e.JobID,
+			sanitize(e.Location), e.Facility, e.Severity, sanitize(e.Entry))
+		n += int64(written)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// sanitize strips the field separator and newlines from free-text fields.
+func sanitize(s string) string {
+	if !strings.ContainsAny(s, "|\n\r") {
+		return s
+	}
+	r := strings.NewReplacer("|", "/", "\n", " ", "\r", " ")
+	return r.Replace(s)
+}
+
+// ReadLog reads a complete log from r. Events are returned in file order;
+// the caller should SortByTime if order is not guaranteed.
+func ReadLog(r io.Reader, name string) (*Log, error) {
+	l := NewLog(name, 1024)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		e, err := ParseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("raslog: line %d: %w", lineNo, err)
+		}
+		l.Append(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("raslog: read: %w", err)
+	}
+	return l, nil
+}
+
+// ParseLine parses one codec line into an Event.
+func ParseLine(line string) (Event, error) {
+	parts := strings.SplitN(line, "|", codecFields)
+	if len(parts) != codecFields {
+		return Event{}, fmt.Errorf("want %d fields, got %d", codecFields, len(parts))
+	}
+	var e Event
+	var err error
+	if e.RecordID, err = strconv.ParseInt(parts[0], 10, 64); err != nil {
+		return Event{}, fmt.Errorf("record id: %w", err)
+	}
+	e.Type = parts[1]
+	secs, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("event time: %w", err)
+	}
+	e.Time = secs * 1000
+	if e.JobID, err = strconv.ParseInt(parts[3], 10, 64); err != nil {
+		return Event{}, fmt.Errorf("job id: %w", err)
+	}
+	e.Location = parts[4]
+	if e.Facility, err = ParseFacility(parts[5]); err != nil {
+		return Event{}, err
+	}
+	if e.Severity, err = ParseSeverity(parts[6]); err != nil {
+		return Event{}, err
+	}
+	e.Entry = parts[7]
+	return e, nil
+}
+
+// LogSizeBytes returns the size in bytes the log would occupy in the text
+// format without materializing it (used for Table 2's "Log Size" column).
+func LogSizeBytes(l *Log) int64 {
+	var n int64
+	for i := range l.Events {
+		e := &l.Events[i]
+		n += int64(digits(e.RecordID) + len(e.Type) + digits(e.Seconds()) +
+			digits(e.JobID) + len(e.Location) + len(e.Facility.String()) +
+			len(e.Severity.String()) + len(e.Entry) + codecFields) // separators + \n
+	}
+	return n
+}
+
+func digits(v int64) int {
+	if v == 0 {
+		return 1
+	}
+	n := 0
+	if v < 0 {
+		n = 1
+		v = -v
+	}
+	for v > 0 {
+		n++
+		v /= 10
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+package raslog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{RecordID: 1, Type: "RAS", Time: 1_100_000_000_500, JobID: 42,
+			Location: "R00-M0-N4-C2", Entry: "cache failure",
+			Facility: Kernel, Severity: Fatal},
+		{RecordID: 2, Type: "RAS", Time: 1_100_000_001_000, JobID: 0,
+			Location: "R00-M0-S", Entry: "node card temperature error",
+			Facility: Monitor, Severity: Warning},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	l := &Log{Name: "rt", Events: sampleEvents()}
+	var buf bytes.Buffer
+	n, err := WriteLog(&buf, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadLog(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("read %d events, want 2", got.Len())
+	}
+	// Sub-second precision is lost by design (seconds granularity).
+	if got.Events[0].Time != 1_100_000_000_000 {
+		t.Errorf("time = %d, want seconds-truncated", got.Events[0].Time)
+	}
+	e := got.Events[0]
+	if e.RecordID != 1 || e.JobID != 42 || e.Location != "R00-M0-N4-C2" ||
+		e.Entry != "cache failure" || e.Facility != Kernel || e.Severity != Fatal {
+		t.Errorf("event mangled: %+v", e)
+	}
+}
+
+func TestCodecSanitizesSeparators(t *testing.T) {
+	l := &Log{Events: []Event{{Entry: "bad|entry\nline", Location: "a|b",
+		Facility: App, Severity: Info}}}
+	var buf bytes.Buffer
+	if _, err := WriteLog(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf, "x")
+	if err != nil {
+		t.Fatalf("sanitized log failed to parse: %v", err)
+	}
+	if strings.ContainsAny(got.Events[0].Entry, "|\n") {
+		t.Errorf("entry still contains separators: %q", got.Events[0].Entry)
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	bad := []string{
+		"",                        // empty handled by ReadLog skip, raw parse fails
+		"1|RAS|2",                 // too few fields
+		"x|RAS|1|2|l|APP|INFO|e",  // bad record id
+		"1|RAS|x|2|l|APP|INFO|e",  // bad time
+		"1|RAS|1|x|l|APP|INFO|e",  // bad job id
+		"1|RAS|1|2|l|NOPE|INFO|e", // bad facility
+		"1|RAS|1|2|l|APP|NOPE|e",  // bad severity
+	}
+	for _, line := range bad {
+		if _, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q) accepted", line)
+		}
+	}
+}
+
+func TestReadLogSkipsBlankLines(t *testing.T) {
+	in := "1|RAS|100|0|loc|APP|INFO|ok\n\n2|RAS|200|0|loc|APP|INFO|ok\n"
+	l, err := ReadLog(strings.NewReader(in), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Errorf("read %d events, want 2", l.Len())
+	}
+}
+
+func TestReadLogReportsLineNumber(t *testing.T) {
+	in := "1|RAS|100|0|loc|APP|INFO|ok\ngarbage line\n"
+	_, err := ReadLog(strings.NewReader(in), "s")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %v does not name line 2", err)
+	}
+}
+
+func TestLogSizeBytesMatchesActual(t *testing.T) {
+	l := &Log{Events: sampleEvents()}
+	var buf bytes.Buffer
+	if _, err := WriteLog(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	if est := LogSizeBytes(l); est != int64(buf.Len()) {
+		t.Errorf("LogSizeBytes = %d, actual %d", est, buf.Len())
+	}
+}
+
+func TestDigits(t *testing.T) {
+	cases := map[int64]int{0: 1, 5: 1, 10: 2, 999: 3, 1000: 4, -7: 2}
+	for v, want := range cases {
+		if got := digits(v); got != want {
+			t.Errorf("digits(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	// Random well-formed events survive a write/read cycle bit-for-bit
+	// except for the documented second-granularity truncation.
+	r := stats.NewRNG(55)
+	l := NewLog("prop", 300)
+	for i := 0; i < 300; i++ {
+		l.Append(Event{
+			RecordID: int64(i),
+			Type:     "RAS",
+			Time:     r.Int63n(1_000_000_000) * 1000, // whole seconds
+			JobID:    r.Int63n(1000),
+			Location: Facilities()[r.Intn(int(NumFacilities))].String(),
+			Entry:    "entry text with spaces and: punctuation",
+			Facility: Facility(r.Intn(int(NumFacilities))),
+			Severity: Severity(r.Intn(6)),
+		})
+	}
+	var buf bytes.Buffer
+	if _, err := WriteLog(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLog(&buf, "prop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != l.Len() {
+		t.Fatalf("lost events: %d vs %d", back.Len(), l.Len())
+	}
+	for i := range l.Events {
+		if back.Events[i] != l.Events[i] {
+			t.Fatalf("event %d mangled:\n%v\n%v", i, l.Events[i], back.Events[i])
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package raslog defines the RAS (Reliability, Availability and
+// Serviceability) event model used throughout the framework: the eight
+// event attributes recorded by the Blue Gene/L logging facility (Table 1 of
+// the paper), severity levels, facilities, in-memory event collections, and
+// a line-oriented text codec for reading and writing logs.
+package raslog
+
+import (
+	"fmt"
+	"time"
+)
+
+// Severity is the SEVERITY attribute of a RAS event. The declared order is
+// the increasing order of severity used by the logging facility.
+type Severity int
+
+// Severity levels, in increasing order. FATAL and FAILURE events usually
+// lead to system or application crashes; the framework's job is to predict
+// them.
+const (
+	Info Severity = iota
+	Warning
+	Severe
+	Error
+	Fatal
+	Failure
+	numSeverities
+)
+
+var severityNames = [numSeverities]string{
+	"INFO", "WARNING", "SEVERE", "ERROR", "FATAL", "FAILURE",
+}
+
+// String returns the log-file spelling of the severity.
+func (s Severity) String() string {
+	if s < 0 || s >= numSeverities {
+		return fmt.Sprintf("SEVERITY(%d)", int(s))
+	}
+	return severityNames[s]
+}
+
+// Valid reports whether s is one of the defined levels.
+func (s Severity) Valid() bool { return s >= 0 && s < numSeverities }
+
+// IsFatal reports whether the severity level marks a fatal event
+// (FATAL or FAILURE). Note that the *recorded* severity is not always
+// trustworthy — see preprocess.Categorizer, which applies the curated
+// fatal list.
+func (s Severity) IsFatal() bool { return s == Fatal || s == Failure }
+
+// ParseSeverity parses a log-file severity spelling.
+func ParseSeverity(s string) (Severity, error) {
+	for i, name := range severityNames {
+		if s == name {
+			return Severity(i), nil
+		}
+	}
+	return 0, fmt.Errorf("raslog: unknown severity %q", s)
+}
+
+// Facility is the FACILITY attribute: the service or hardware component
+// experiencing the event. The ten values are the high-level event
+// categories of Table 3.
+type Facility int
+
+// The ten high-level Blue Gene/L facilities (Table 3 of the paper).
+const (
+	App Facility = iota
+	BGLMaster
+	CMCS
+	Discovery
+	Hardware
+	Kernel
+	LinkCard
+	MMCS
+	Monitor
+	ServNet
+	NumFacilities
+)
+
+var facilityNames = [NumFacilities]string{
+	"APP", "BGLMASTER", "CMCS", "DISCOVERY", "HARDWARE",
+	"KERNEL", "LINKCARD", "MMCS", "MONITOR", "SERV_NET",
+}
+
+// String returns the log-file spelling of the facility.
+func (f Facility) String() string {
+	if f < 0 || f >= NumFacilities {
+		return fmt.Sprintf("FACILITY(%d)", int(f))
+	}
+	return facilityNames[f]
+}
+
+// Valid reports whether f is one of the defined facilities.
+func (f Facility) Valid() bool { return f >= 0 && f < NumFacilities }
+
+// ParseFacility parses a log-file facility spelling.
+func ParseFacility(s string) (Facility, error) {
+	for i, name := range facilityNames {
+		if s == name {
+			return Facility(i), nil
+		}
+	}
+	return 0, fmt.Errorf("raslog: unknown facility %q", s)
+}
+
+// Facilities returns all facilities in declaration order.
+func Facilities() []Facility {
+	fs := make([]Facility, NumFacilities)
+	for i := range fs {
+		fs[i] = Facility(i)
+	}
+	return fs
+}
+
+// Event is one RAS log record with the eight attributes of Table 1.
+//
+// Timestamps are milliseconds since the Unix epoch: the logging mechanism
+// works at sub-second granularity, while the *recorded* event time in the
+// production logs is in seconds — the text codec therefore truncates to
+// seconds on write, which is what produces the duplicate same-timestamp
+// entries the filter must coalesce.
+type Event struct {
+	RecordID int64    // sequence number
+	Type     string   // mechanism through which the event is recorded
+	Time     int64    // milliseconds since the Unix epoch
+	JobID    int64    // job that detected the event (0 = none)
+	Location string   // chip / node card / service card / link card
+	Entry    string   // short description of the event
+	Facility Facility // component experiencing the event
+	Severity Severity // severity level
+}
+
+// Seconds returns the event time in whole seconds since the epoch, the
+// granularity of the recorded log.
+func (e Event) Seconds() int64 { return e.Time / 1000 }
+
+// TimeUTC returns the event time as a time.Time in UTC.
+func (e Event) TimeUTC() time.Time {
+	return time.UnixMilli(e.Time).UTC()
+}
+
+// String formats the event compactly for debugging.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s %s/%s job=%d loc=%s %q",
+		e.RecordID, e.TimeUTC().Format("2006-01-02T15:04:05"),
+		e.Facility, e.Severity, e.JobID, e.Location, e.Entry)
+}
+
+// MillisPerWeek is the number of milliseconds in one week, the unit in
+// which the paper reports its time series.
+const MillisPerWeek = 7 * 24 * 3600 * 1000

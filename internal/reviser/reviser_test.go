@@ -1,0 +1,175 @@
+package reviser
+
+import (
+	"testing"
+
+	"repro/internal/learner"
+	"repro/internal/preprocess"
+	"repro/internal/raslog"
+)
+
+var p300 = learner.Params{WindowSec: 300}
+
+func mk(tSec int64, class int, fatal bool) preprocess.TaggedEvent {
+	return preprocess.TaggedEvent{
+		Event: raslog.Event{Time: tSec * 1000}, Class: class, Fatal: fatal,
+	}
+}
+
+func assocRule(target int, body ...int) learner.Rule {
+	return learner.Rule{Kind: learner.Association,
+		Body: learner.NormalizeBody(body), Target: target}
+}
+
+// goodAndBadStream builds a stream where class 1 reliably precedes fatal
+// 99 and class 2 fires often but never precedes a failure.
+func goodAndBadStream() []preprocess.TaggedEvent {
+	var events []preprocess.TaggedEvent
+	tm := int64(0)
+	for i := 0; i < 30; i++ {
+		events = append(events, mk(tm, 1, false), mk(tm+60, 99, true))
+		tm += 4000
+		events = append(events, mk(tm, 2, false))
+		tm += 4000
+	}
+	return events
+}
+
+func TestReviserKeepsGoodDropsBad(t *testing.T) {
+	rv := New()
+	good := assocRule(99, 1)
+	bad := assocRule(99, 2)
+	kept, scores := rv.Revise([]learner.Rule{good, bad}, goodAndBadStream(), p300)
+	if len(kept) != 1 || kept[0].ID() != good.ID() {
+		t.Fatalf("kept = %v", kept)
+	}
+	if len(scores) != 2 {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	for _, s := range scores {
+		switch s.Rule.ID() {
+		case good.ID():
+			if !s.Kept || s.ROC < 0.7 {
+				t.Errorf("good rule score = %+v", s)
+			}
+			if s.Precision() < 0.9 {
+				t.Errorf("good rule precision = %g", s.Precision())
+			}
+		case bad.ID():
+			if s.Kept || s.TP != 0 {
+				t.Errorf("bad rule score = %+v", s)
+			}
+		}
+	}
+}
+
+func TestReviserMinROCBoundary(t *testing.T) {
+	// Half the failures have no precursor: the rule's recall is 0.5, so
+	// ROC = sqrt(1 + 0.25) ≈ 1.118. MinROC must cut exactly there.
+	var events []preprocess.TaggedEvent
+	tm := int64(0)
+	for i := 0; i < 20; i++ {
+		events = append(events, mk(tm, 1, false), mk(tm+60, 99, true))
+		tm += 4000
+		events = append(events, mk(tm, 98, true)) // precursor-less failure
+		tm += 4000
+	}
+	rule := assocRule(99, 1)
+	strict := &Reviser{MinROC: 1.2}
+	kept, scores := strict.Revise([]learner.Rule{rule}, events, p300)
+	if len(kept) != 0 {
+		t.Errorf("rule with ROC %.3f survived MinROC 1.2", scores[0].ROC)
+	}
+	if scores[0].ROC < 1.0 || scores[0].ROC > 1.2 {
+		t.Errorf("ROC = %.3f, want ~1.118", scores[0].ROC)
+	}
+	lax := &Reviser{MinROC: 1.0}
+	kept, _ = lax.Revise([]learner.Rule{rule}, events, p300)
+	if len(kept) != 1 {
+		t.Error("rule rejected at MinROC 1.0")
+	}
+}
+
+func TestReviserEmptyCandidates(t *testing.T) {
+	kept, scores := New().Revise(nil, goodAndBadStream(), p300)
+	if len(kept) != 0 || len(scores) != 0 {
+		t.Errorf("empty revise = %v, %v", kept, scores)
+	}
+}
+
+func TestReviserNeverFiringRuleDropped(t *testing.T) {
+	rule := assocRule(99, 777) // class never occurs
+	kept, scores := New().Revise([]learner.Rule{rule}, goodAndBadStream(), p300)
+	if len(kept) != 0 {
+		t.Error("never-firing rule kept")
+	}
+	if scores[0].ROC != 0 {
+		t.Errorf("ROC = %g, want 0", scores[0].ROC)
+	}
+}
+
+func TestReviserStatisticalRule(t *testing.T) {
+	// Bursts where k=2 within the window always continues: high ROC.
+	var events []preprocess.TaggedEvent
+	tm := int64(0)
+	for i := 0; i < 25; i++ {
+		events = append(events,
+			mk(tm, 90, true), mk(tm+50, 90, true), mk(tm+100, 90, true))
+		tm += 7200
+	}
+	rule := learner.Rule{Kind: learner.Statistical, Count: 2, Target: learner.AnyFatal}
+	kept, scores := New().Revise([]learner.Rule{rule}, events, p300)
+	if len(kept) != 1 {
+		t.Fatalf("statistical rule dropped: %+v", scores[0])
+	}
+	if scores[0].Precision() < 0.9 {
+		t.Errorf("precision = %g", scores[0].Precision())
+	}
+}
+
+func TestROCValueComputation(t *testing.T) {
+	// Via a fully-precise fully-covering stream, ROC should approach
+	// sqrt(2).
+	var events []preprocess.TaggedEvent
+	tm := int64(0)
+	for i := 0; i < 20; i++ {
+		events = append(events, mk(tm, 1, false), mk(tm+50, 99, true))
+		tm += 4000
+	}
+	rule := assocRule(99, 1)
+	_, scores := New().Revise([]learner.Rule{rule}, events, p300)
+	if scores[0].ROC < 1.4 {
+		t.Errorf("perfect rule ROC = %g, want ~sqrt(2)", scores[0].ROC)
+	}
+}
+
+func TestScoreAllWideWindowNoDoubleCounting(t *testing.T) {
+	// With W_P wider than the 300 s alarm spacing, a rule can re-trigger
+	// while its previous warning is still open; warnings must still be
+	// settled exactly once each. Class 1 fires every 400 s with a fatal
+	// after every third occurrence.
+	var events []preprocess.TaggedEvent
+	tm := int64(0)
+	occurrences := 0
+	for i := 0; i < 30; i++ {
+		events = append(events, mk(tm, 1, false))
+		occurrences++
+		if i%3 == 2 {
+			events = append(events, mk(tm+100, 99, true))
+		}
+		tm += 400
+	}
+	rule := assocRule(99, 1)
+	outcomes := ScoreAll([]learner.Rule{rule},
+		events, learner.Params{WindowSec: 3600})
+	o := outcomes[0]
+	if o.TP+o.FP > occurrences {
+		t.Fatalf("settled %d warnings from %d triggers", o.TP+o.FP, occurrences)
+	}
+	if o.TP == 0 {
+		t.Fatal("no true positives on a reliable indicator")
+	}
+	if o.Captured > o.Fatals {
+		t.Fatalf("captured %d of %d fatals", o.Captured, o.Fatals)
+	}
+}

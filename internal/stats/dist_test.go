@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestWeibullCDFKnownValues(t *testing.T) {
+	// The paper's SDSC fit: F(t) = 1 - exp(-(t/19984.8)^0.507936).
+	// The paper states F(20000) ≈ 0.63.
+	w, err := NewWeibull(19984.8, 0.507936)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.CDF(20000); !almostEqual(got, 0.63, 0.01) {
+		t.Errorf("paper Weibull CDF(20000) = %g, want ~0.63", got)
+	}
+	if got := w.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %g, want 0", got)
+	}
+	if got := w.CDF(-5); got != 0 {
+		t.Errorf("CDF(-5) = %g, want 0", got)
+	}
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	w, _ := NewWeibull(100, 1)
+	e, _ := NewExponential(100)
+	for _, x := range []float64{1, 10, 50, 100, 500, 1000} {
+		if !almostEqual(w.CDF(x), e.CDF(x), 1e-12) {
+			t.Errorf("Weibull(100,1).CDF(%g)=%g != Exponential(100).CDF=%g",
+				x, w.CDF(x), e.CDF(x))
+		}
+		if !almostEqual(w.LogPDF(x), e.LogPDF(x), 1e-9) {
+			t.Errorf("LogPDF mismatch at %g", x)
+		}
+	}
+}
+
+func TestDistributionInvariants(t *testing.T) {
+	dists := []Distribution{
+		Weibull{Scale: 19984.8, Shape: 0.508},
+		Weibull{Scale: 100, Shape: 2.5},
+		Exponential{Scale: 3600},
+		LogNormal{Mu: 8, Sigma: 1.5},
+	}
+	for _, d := range dists {
+		t.Run(d.String(), func(t *testing.T) {
+			// CDF monotone nondecreasing, in [0,1].
+			prev := 0.0
+			for x := 0.0; x < 1e6; x += 9173 {
+				c := d.CDF(x)
+				if c < 0 || c > 1 {
+					t.Fatalf("CDF(%g)=%g out of range", x, c)
+				}
+				if c+1e-12 < prev {
+					t.Fatalf("CDF not monotone at %g: %g < %g", x, c, prev)
+				}
+				prev = c
+			}
+			// Quantile inverts CDF.
+			for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+				x := d.Quantile(p)
+				if !almostEqual(d.CDF(x), p, 1e-6) {
+					t.Errorf("CDF(Quantile(%g)) = %g", p, d.CDF(x))
+				}
+			}
+			// Sample mean converges to Mean().
+			r := NewRNG(99)
+			const n = 100000
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				v := d.Sample(r)
+				if v < 0 {
+					t.Fatalf("negative sample %g", v)
+				}
+				sum += v
+			}
+			mean := sum / n
+			want := d.Mean()
+			// Heavy-tailed distributions converge slowly; allow 10%.
+			if math.Abs(mean-want) > 0.10*want {
+				t.Errorf("sample mean %g, analytic %g", mean, want)
+			}
+		})
+	}
+}
+
+func TestQuantileCDFRoundTripQuick(t *testing.T) {
+	w := Weibull{Scale: 5000, Shape: 0.7}
+	f := func(raw uint32) bool {
+		p := (float64(raw%10000) + 0.5) / 10001.0
+		x := w.Quantile(p)
+		return almostEqual(w.CDF(x), p, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidParameters(t *testing.T) {
+	if _, err := NewWeibull(0, 1); err == nil {
+		t.Error("NewWeibull(0,1) accepted")
+	}
+	if _, err := NewWeibull(1, -1); err == nil {
+		t.Error("NewWeibull(1,-1) accepted")
+	}
+	if _, err := NewWeibull(math.NaN(), 1); err == nil {
+		t.Error("NewWeibull(NaN,1) accepted")
+	}
+	if _, err := NewExponential(-3); err == nil {
+		t.Error("NewExponential(-3) accepted")
+	}
+	if _, err := NewLogNormal(0, 0); err == nil {
+		t.Error("NewLogNormal(0,0) accepted")
+	}
+}
+
+func TestLogPDFNegativeSupport(t *testing.T) {
+	dists := []Distribution{
+		Weibull{Scale: 1, Shape: 1},
+		Exponential{Scale: 1},
+		LogNormal{Mu: 0, Sigma: 1},
+	}
+	for _, d := range dists {
+		if got := d.LogPDF(-1); !math.IsInf(got, -1) {
+			t.Errorf("%s.LogPDF(-1) = %g, want -Inf", d.Name(), got)
+		}
+		if got := d.LogPDF(0); !math.IsInf(got, -1) {
+			t.Errorf("%s.LogPDF(0) = %g, want -Inf", d.Name(), got)
+		}
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	l := LogNormal{Mu: 3, Sigma: 0.5}
+	// Median of lognormal = exp(mu).
+	if got := l.Quantile(0.5); !almostEqual(got, math.Exp(3), 1e-6*math.Exp(3)) {
+		t.Errorf("lognormal median = %g, want %g", got, math.Exp(3))
+	}
+}
+
+func TestNormQuantileSymmetry(t *testing.T) {
+	for _, p := range []float64{0.01, 0.025, 0.1, 0.3, 0.5} {
+		a := normQuantile(p)
+		b := normQuantile(1 - p)
+		if !almostEqual(a, -b, 1e-7) {
+			t.Errorf("normQuantile asymmetric at %g: %g vs %g", p, a, b)
+		}
+	}
+	if got := normQuantile(0.975); !almostEqual(got, 1.959964, 1e-5) {
+		t.Errorf("normQuantile(0.975) = %g, want 1.959964", got)
+	}
+	if !math.IsInf(normQuantile(0), -1) || !math.IsInf(normQuantile(1), 1) {
+		t.Error("normQuantile boundary values wrong")
+	}
+}
+
+func TestDistributionNames(t *testing.T) {
+	if (Weibull{}).Name() != "weibull" {
+		t.Error("weibull name")
+	}
+	if (Exponential{}).Name() != "exponential" {
+		t.Error("exponential name")
+	}
+	if (LogNormal{}).Name() != "lognormal" {
+		t.Error("lognormal name")
+	}
+}

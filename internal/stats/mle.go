@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned by the fitting routines when too few
+// positive observations are available to estimate parameters.
+var ErrInsufficientData = errors.New("stats: insufficient data for fitting")
+
+// LogLikelihood sums LogPDF over the sample.
+func LogLikelihood(d Distribution, xs []float64) float64 {
+	ll := 0.0
+	for _, x := range xs {
+		ll += d.LogPDF(x)
+	}
+	return ll
+}
+
+// positives copies the strictly positive entries of xs.
+func positives(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// FitExponential fits an exponential distribution by MLE (the sample mean).
+func FitExponential(xs []float64) (Exponential, error) {
+	ps := positives(xs)
+	if len(ps) < 2 {
+		return Exponential{}, ErrInsufficientData
+	}
+	sum := 0.0
+	for _, x := range ps {
+		sum += x
+	}
+	return NewExponential(sum / float64(len(ps)))
+}
+
+// FitLogNormal fits a log-normal distribution by MLE (mean and standard
+// deviation of the log sample).
+func FitLogNormal(xs []float64) (LogNormal, error) {
+	ps := positives(xs)
+	if len(ps) < 2 {
+		return LogNormal{}, ErrInsufficientData
+	}
+	var sum, sumSq float64
+	for _, x := range ps {
+		lx := math.Log(x)
+		sum += lx
+		sumSq += lx * lx
+	}
+	n := float64(len(ps))
+	mu := sum / n
+	variance := sumSq/n - mu*mu
+	if variance <= 0 {
+		variance = 1e-12
+	}
+	return NewLogNormal(mu, math.Sqrt(variance))
+}
+
+// FitWeibull fits a two-parameter Weibull distribution by maximum
+// likelihood. The shape parameter solves the standard MLE fixed-point
+// equation, found here with a safeguarded Newton iteration; the scale then
+// follows in closed form. This reproduces the paper's fit procedure (e.g.
+// the SDSC training set yields scale≈19984.8, shape≈0.508).
+func FitWeibull(xs []float64) (Weibull, error) {
+	ps := positives(xs)
+	if len(ps) < 2 {
+		return Weibull{}, ErrInsufficientData
+	}
+	logs := make([]float64, len(ps))
+	meanLog := 0.0
+	for i, x := range ps {
+		logs[i] = math.Log(x)
+		meanLog += logs[i]
+	}
+	meanLog /= float64(len(ps))
+
+	// g(k) = sum(x^k log x)/sum(x^k) - 1/k - meanLog = 0
+	g := func(k float64) (val, deriv float64) {
+		var s0, s1, s2 float64
+		// Normalize by max to avoid overflow for large k.
+		maxLog := logs[0]
+		for _, lx := range logs {
+			if lx > maxLog {
+				maxLog = lx
+			}
+		}
+		for i, x := range ps {
+			_ = x
+			w := math.Exp(k * (logs[i] - maxLog)) // x^k scaled
+			s0 += w
+			s1 += w * logs[i]
+			s2 += w * logs[i] * logs[i]
+		}
+		r1 := s1 / s0
+		r2 := s2 / s0
+		val = r1 - 1/k - meanLog
+		deriv = (r2 - r1*r1) + 1/(k*k)
+		return val, deriv
+	}
+
+	// Initial guess from the method of moments on log data:
+	// Var(log X) = pi^2 / (6 k^2) for Weibull.
+	varLog := 0.0
+	for _, lx := range logs {
+		d := lx - meanLog
+		varLog += d * d
+	}
+	varLog /= float64(len(logs))
+	k := 1.0
+	if varLog > 1e-12 {
+		k = math.Pi / math.Sqrt(6*varLog)
+	}
+	if k <= 0 || math.IsNaN(k) {
+		k = 1
+	}
+
+	const (
+		tol     = 1e-10
+		maxIter = 100
+	)
+	converged := false
+	for i := 0; i < maxIter; i++ {
+		val, deriv := g(k)
+		if math.Abs(val) < tol {
+			converged = true
+			break
+		}
+		step := val / deriv
+		next := k - step
+		// Safeguard: keep the shape positive and damp huge steps.
+		for next <= 0 || math.Abs(next-k) > 10*k {
+			step /= 2
+			next = k - step
+			if math.Abs(step) < 1e-15 {
+				break
+			}
+		}
+		if math.Abs(next-k) < tol*k {
+			k = next
+			converged = true
+			break
+		}
+		k = next
+	}
+	if !converged {
+		// Fall back to a bisection sweep over a broad bracket.
+		lo, hi := 1e-3, 1e3
+		flo, _ := g(lo)
+		fhi, _ := g(hi)
+		if flo*fhi > 0 {
+			return Weibull{}, fmt.Errorf("stats: Weibull MLE failed to converge (k=%g)", k)
+		}
+		for i := 0; i < 200; i++ {
+			mid := math.Sqrt(lo * hi)
+			fm, _ := g(mid)
+			if flo*fm <= 0 {
+				hi = mid
+			} else {
+				lo, flo = mid, fm
+			}
+		}
+		k = math.Sqrt(lo * hi)
+	}
+
+	// Closed-form scale given shape.
+	sum := 0.0
+	for _, x := range ps {
+		sum += math.Pow(x, k)
+	}
+	scale := math.Pow(sum/float64(len(ps)), 1/k)
+	return NewWeibull(scale, k)
+}
+
+// FitResult reports one candidate distribution fit.
+type FitResult struct {
+	Dist   Distribution
+	LogLik float64 // log-likelihood on the sample
+	KS     float64 // Kolmogorov–Smirnov statistic against the sample
+	Err    error   // non-nil if the family could not be fitted
+}
+
+// FitBest fits Weibull, exponential and log-normal distributions to the
+// sample and returns all candidate results plus the index of the best one
+// (highest log-likelihood among the successful fits). This is the "examine
+// Weibull, exponential and log-normal ... for generating the CDF of fatal
+// events" step of the paper's probability-distribution base learner.
+func FitBest(xs []float64) (best int, results []FitResult, err error) {
+	ps := positives(xs)
+	if len(ps) < 2 {
+		return -1, nil, ErrInsufficientData
+	}
+	results = make([]FitResult, 0, 3)
+	if w, e := FitWeibull(ps); e == nil {
+		results = append(results, FitResult{Dist: w})
+	} else {
+		results = append(results, FitResult{Err: e})
+	}
+	if ex, e := FitExponential(ps); e == nil {
+		results = append(results, FitResult{Dist: ex})
+	} else {
+		results = append(results, FitResult{Err: e})
+	}
+	if ln, e := FitLogNormal(ps); e == nil {
+		results = append(results, FitResult{Dist: ln})
+	} else {
+		results = append(results, FitResult{Err: e})
+	}
+	sorted := append([]float64(nil), ps...)
+	sort.Float64s(sorted)
+	best = -1
+	bestLL := math.Inf(-1)
+	for i := range results {
+		if results[i].Err != nil {
+			continue
+		}
+		results[i].LogLik = LogLikelihood(results[i].Dist, ps)
+		results[i].KS = KolmogorovSmirnov(sorted, results[i].Dist)
+		if results[i].LogLik > bestLL {
+			bestLL = results[i].LogLik
+			best = i
+		}
+	}
+	if best < 0 {
+		return -1, results, errors.New("stats: no distribution family could be fitted")
+	}
+	return best, results, nil
+}

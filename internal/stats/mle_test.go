@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func sample(d Distribution, n int, seed uint64) []float64 {
+	r := NewRNG(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Sample(r)
+	}
+	return xs
+}
+
+func TestFitExponentialRecovers(t *testing.T) {
+	truth := Exponential{Scale: 7200}
+	xs := sample(truth, 20000, 1)
+	got, err := FitExponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Scale-truth.Scale) > 0.03*truth.Scale {
+		t.Errorf("fitted scale %g, want ~%g", got.Scale, truth.Scale)
+	}
+}
+
+func TestFitLogNormalRecovers(t *testing.T) {
+	truth := LogNormal{Mu: 8.2, Sigma: 1.1}
+	xs := sample(truth, 20000, 2)
+	got, err := FitLogNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Mu-truth.Mu) > 0.05 {
+		t.Errorf("fitted mu %g, want ~%g", got.Mu, truth.Mu)
+	}
+	if math.Abs(got.Sigma-truth.Sigma) > 0.05 {
+		t.Errorf("fitted sigma %g, want ~%g", got.Sigma, truth.Sigma)
+	}
+}
+
+func TestFitWeibullRecovers(t *testing.T) {
+	cases := []Weibull{
+		{Scale: 19984.8, Shape: 0.507936}, // the paper's SDSC fit
+		{Scale: 3600, Shape: 1.0},
+		{Scale: 500, Shape: 2.3},
+		{Scale: 1e6, Shape: 0.3},
+	}
+	for _, truth := range cases {
+		xs := sample(truth, 30000, 3)
+		got, err := FitWeibull(xs)
+		if err != nil {
+			t.Fatalf("%v: %v", truth, err)
+		}
+		if math.Abs(got.Shape-truth.Shape) > 0.05*truth.Shape {
+			t.Errorf("truth %v: fitted shape %g", truth, got.Shape)
+		}
+		if math.Abs(got.Scale-truth.Scale) > 0.08*truth.Scale {
+			t.Errorf("truth %v: fitted scale %g", truth, got.Scale)
+		}
+	}
+}
+
+func TestFitWeibullMLEIsLikelihoodMaximum(t *testing.T) {
+	truth := Weibull{Scale: 10000, Shape: 0.6}
+	xs := sample(truth, 5000, 4)
+	fit, err := FitWeibull(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llFit := LogLikelihood(fit, xs)
+	// Perturbing either parameter must not improve the likelihood.
+	for _, mult := range []float64{0.9, 0.95, 1.05, 1.1} {
+		p1 := Weibull{Scale: fit.Scale * mult, Shape: fit.Shape}
+		p2 := Weibull{Scale: fit.Scale, Shape: fit.Shape * mult}
+		if ll := LogLikelihood(p1, xs); ll > llFit+1e-6 {
+			t.Errorf("scale*%.2f improves LL: %g > %g", mult, ll, llFit)
+		}
+		if ll := LogLikelihood(p2, xs); ll > llFit+1e-6 {
+			t.Errorf("shape*%.2f improves LL: %g > %g", mult, ll, llFit)
+		}
+	}
+}
+
+func TestFitInsufficientData(t *testing.T) {
+	for _, xs := range [][]float64{nil, {}, {5}, {-1, -2, 0}} {
+		if _, err := FitWeibull(xs); !errors.Is(err, ErrInsufficientData) {
+			t.Errorf("FitWeibull(%v) err = %v, want ErrInsufficientData", xs, err)
+		}
+		if _, err := FitExponential(xs); !errors.Is(err, ErrInsufficientData) {
+			t.Errorf("FitExponential(%v) err = %v", xs, err)
+		}
+		if _, err := FitLogNormal(xs); !errors.Is(err, ErrInsufficientData) {
+			t.Errorf("FitLogNormal(%v) err = %v", xs, err)
+		}
+	}
+}
+
+func TestFitIgnoresNonPositive(t *testing.T) {
+	truth := Exponential{Scale: 100}
+	xs := sample(truth, 5000, 5)
+	polluted := append([]float64{0, -5, math.NaN(), math.Inf(1)}, xs...)
+	clean, err1 := FitExponential(xs)
+	dirty, err2 := FitExponential(polluted)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if clean.Scale != dirty.Scale {
+		t.Errorf("non-positive values changed the fit: %g vs %g", clean.Scale, dirty.Scale)
+	}
+}
+
+func TestFitBestPrefersTrueFamily(t *testing.T) {
+	// A strongly clustered Weibull sample should be best fitted by Weibull,
+	// not the memoryless exponential.
+	truth := Weibull{Scale: 19984.8, Shape: 0.5}
+	xs := sample(truth, 20000, 6)
+	best, results, err := FitBest(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	name := results[best].Dist.Name()
+	if name == "exponential" {
+		t.Errorf("FitBest chose exponential for shape-0.5 Weibull data")
+	}
+	// Weibull must beat exponential in likelihood on this data.
+	var llW, llE float64
+	for _, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		switch res.Dist.Name() {
+		case "weibull":
+			llW = res.LogLik
+		case "exponential":
+			llE = res.LogLik
+		}
+	}
+	if llW <= llE {
+		t.Errorf("Weibull LL %g should exceed exponential LL %g", llW, llE)
+	}
+}
+
+func TestFitBestKSComputed(t *testing.T) {
+	truth := Exponential{Scale: 50}
+	xs := sample(truth, 5000, 7)
+	best, results, err := FitBest(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			continue
+		}
+		if res.KS <= 0 || res.KS >= 1 {
+			t.Errorf("%s KS = %g out of (0,1)", res.Dist.Name(), res.KS)
+		}
+	}
+	// The true family should have a small KS distance.
+	if results[best].KS > 0.05 {
+		t.Errorf("best-fit KS = %g, want < 0.05", results[best].KS)
+	}
+}
+
+func TestFitBestInsufficient(t *testing.T) {
+	if _, _, err := FitBest([]float64{1}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestLogLikelihoodAdds(t *testing.T) {
+	d := Exponential{Scale: 1}
+	xs := []float64{1, 2}
+	want := d.LogPDF(1) + d.LogPDF(2)
+	if got := LogLikelihood(d, xs); !almostEqual(got, want, 1e-12) {
+		t.Errorf("LogLikelihood = %g, want %g", got, want)
+	}
+}
+
+func TestFitWeibullNearConstantData(t *testing.T) {
+	// Nearly constant data implies a huge shape; the fit must not hang or
+	// return an invalid parameterization.
+	xs := make([]float64, 500)
+	r := NewRNG(8)
+	for i := range xs {
+		xs[i] = 100 + 0.001*r.Float64()
+	}
+	w, err := FitWeibull(xs)
+	if err != nil {
+		t.Skipf("extreme-shape fit unsupported: %v", err)
+	}
+	if !(w.Shape > 100) {
+		t.Errorf("near-constant data fitted shape %g, want very large", w.Shape)
+	}
+	if math.IsNaN(w.Scale) || w.Scale <= 0 {
+		t.Errorf("invalid scale %g", w.Scale)
+	}
+}
