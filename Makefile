@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test verify bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Tier-1 (build + test) plus vet and the race detector — the gate the
+# concurrent streaming service is held to.
+verify:
+	sh scripts/verify.sh
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$'

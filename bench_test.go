@@ -8,9 +8,12 @@ package repro
 // evaluation. cmd/experiments runs the same experiments at full scale.
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/bgsim"
 	"repro/internal/engine"
@@ -21,6 +24,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/preprocess"
 	"repro/internal/reviser"
+	"repro/internal/stream"
 )
 
 // benchSuite caches the quick suite across benchmarks (loading once keeps
@@ -131,6 +135,75 @@ func BenchmarkPredictorObserve(b *testing.B) {
 		pr := predictor.New(report.Kept, p)
 		pr.ObserveAll(events)
 	}
+}
+
+// BenchmarkStreamObserve pushes events through the full incremental
+// pipeline of internal/stream — sequencer, per-location shards, ordered
+// collector, live predictor — and reports sustained events/sec.
+func BenchmarkStreamObserve(b *testing.B) {
+	cfg := bgsim.SDSC(1).Scaled(8, 0.1)
+	g, _ := bgsim.NewGenerator(cfg)
+	raw, err := g.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw.SortByTime()
+	span := raw.End() - raw.Start() + 1
+
+	scfg := stream.Defaults()
+	scfg.InitialTrain = 1_000_000 * time.Hour // train manually below
+	svc, err := stream.New(scfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, e := range raw.Events { // warm up history, then arm the predictor
+		if err := svc.Ingest(ctx, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := svc.TrainNow(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := len(raw.Events)
+	for i := 0; i < b.N; i++ {
+		e := raw.Events[i%n]
+		// Replays must move forward in stream time or they are late-dropped.
+		e.Time += int64(1+i/n) * span
+		if err := svc.Ingest(ctx, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := svc.Close(); err != nil { // drain: count full pipeline cost
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkRuleSwap measures the retrainer's copy-on-write publish: build
+// a predictor over the refreshed rule set and swap it behind the atomic
+// pointer the hot observe path loads from.
+func BenchmarkRuleSwap(b *testing.B) {
+	events := benchTagged(b)
+	p := learner.Params{WindowSec: 300}
+	report, err := meta.New().Train(events, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var live atomic.Pointer[predictor.Predictor]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := predictor.New(report.Kept, p)
+		pr.GlobalDedup = true
+		pr.SeedLastFatal(int64(i))
+		live.Store(pr)
+	}
+	b.ReportMetric(float64(len(report.Kept)), "rules")
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,114 @@
+// Command serve runs the streaming prediction service as an HTTP daemon:
+// the online, event-driven deployment mode of the framework (paper §4.3).
+//
+// Usage:
+//
+//	serve [-addr :8080] [-filter 300] [-window 300] [-train 26] [-retrain 4]
+//	      [-policy sliding|whole|static] [-shards 4] [-reorder 60]
+//
+// API:
+//
+//	POST /ingest    text-codec RAS lines (batched, one per line)
+//	GET  /warnings  recent warnings with trigger rules (?n=50)
+//	GET  /stats     ingest counts, compression, rules, retrain history
+//	GET  /healthz   liveness
+//	POST /retrain   force a training pass now
+//
+// Retraining follows *stream time* (event timestamps), so replayed or
+// time-compressed feeds retrain on their own timeline. Try it end to end:
+//
+//	serve &
+//	go run ./examples/livefeed -addr http://localhost:8080
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/stream"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	filter := flag.Int64("filter", 300, "preprocessing filter threshold in seconds (0 disables)")
+	window := flag.Int64("window", 300, "prediction window W_P in seconds")
+	train := flag.Float64("train", 26, "initial/sliding training window in stream-time weeks")
+	retrain := flag.Float64("retrain", 4, "retraining cadence W_R in stream-time weeks")
+	policy := flag.String("policy", "sliding", "training policy: sliding, whole or static")
+	shards := flag.Int("shards", 4, "parallel preprocessing shards")
+	reorder := flag.Int64("reorder", 60, "out-of-order tolerance in stream-time seconds")
+	queue := flag.Int("queue", 1024, "per-stage queue length")
+	flag.Parse()
+
+	if err := run(*addr, *filter, *window, *train, *retrain, *policy, *shards, *reorder, *queue); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, filter, window int64, train, retrain float64, policy string, shards int, reorder int64, queue int) error {
+	const week = 7 * 24 * time.Hour
+	cfg := stream.Defaults()
+	cfg.Filter.Threshold = filter
+	cfg.Params.WindowSec = window
+	cfg.InitialTrain = time.Duration(train * float64(week))
+	cfg.TrainWindow = time.Duration(train * float64(week))
+	cfg.RetrainEvery = time.Duration(retrain * float64(week))
+	cfg.Shards = shards
+	cfg.ReorderWindow = time.Duration(reorder) * time.Second
+	cfg.QueueLen = queue
+	switch policy {
+	case "sliding":
+		cfg.Policy = engine.Sliding
+	case "whole":
+		cfg.Policy = engine.Whole
+	case "static":
+		cfg.Policy = engine.Static
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+
+	svc, err := stream.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{Addr: addr, Handler: stream.NewMux(svc)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (policy %s, W_P %ds, filter %ds, retrain every %.3gw)\n",
+		addr, policy, window, filter, retrain)
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "serve: shutting down")
+	case err := <-errCh:
+		svc.Close()
+		return err
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		svc.Close()
+		return err
+	}
+	if err := svc.Close(); err != nil {
+		return err
+	}
+	st := svc.Stats()
+	fmt.Fprintf(os.Stderr, "serve: drained — %d ingested, %d processed (%.1f%% compression), %d warnings, %d retrains\n",
+		st.Ingested, st.Processed, 100*st.CompressionRate, st.WarningsTotal, len(st.Retrains))
+	return nil
+}

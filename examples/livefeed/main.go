@@ -1,0 +1,208 @@
+// Livefeed: an end-to-end client for cmd/serve. It generates a synthetic
+// SDSC Blue Gene/L RAS log and pipes it into the daemon over HTTP in
+// real-time-compressed mode — weeks of stream time replayed in seconds of
+// wall time, one batched POST /ingest per chunk — while polling
+// GET /warnings and GET /stats like a monitoring dashboard would.
+//
+// Pair it with a daemon whose training windows fit the feed length:
+//
+//	go run ./cmd/serve -train 4 -retrain 3 &
+//	go run ./examples/livefeed -addr http://localhost:8080
+//
+// The daemon retrains on the stream's own timeline, so several retrain
+// cycles complete during the replay; the final poll shows the live rule
+// set and the latest predictions.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "serve daemon base URL")
+	seed := flag.Uint64("seed", 7, "generator seed")
+	weeks := flag.Int("weeks", 14, "length of the generated feed in weeks")
+	scale := flag.Float64("scale", 0.05, "raw duplication scale (full SDSC = 1)")
+	batch := flag.Int("batch", 2000, "events per POST /ingest")
+	pause := flag.Duration("pause", 50*time.Millisecond, "pause between batches")
+	flag.Parse()
+
+	if err := run(*addr, *seed, *weeks, *scale, *batch, *pause); err != nil {
+		log.Fatal("livefeed: ", err)
+	}
+}
+
+// Client-side mirrors of the daemon's JSON (an external client would
+// define these too).
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
+type warning struct {
+	Time   string `json:"time"`
+	Source string `json:"source"`
+	Rule   string `json:"rule"`
+}
+
+type stats struct {
+	Ingested        int64   `json:"ingested"`
+	Processed       int64   `json:"processed"`
+	CompressionRate float64 `json:"compression_rate"`
+	WarningsTotal   int64   `json:"warnings_total"`
+	Rules           int64   `json:"rules"`
+	Retrains        []struct {
+		AtMs int64  `json:"at_ms"`
+		Err  string `json:"err,omitempty"`
+	} `json:"retrains"`
+}
+
+func run(addr string, seed uint64, weeks int, scale float64, batch int, pause time.Duration) error {
+	if _, err := http.Get(addr + "/healthz"); err != nil {
+		return fmt.Errorf("daemon not reachable (start ./cmd/serve first): %w", err)
+	}
+
+	cfg := repro.SDSC(seed).Scaled(weeks, scale)
+	pr, pw := io.Pipe()
+	go func() {
+		_, err := repro.GenerateTo(cfg, pw)
+		pw.CloseWithError(err)
+	}()
+
+	fmt.Printf("feeding %s (%d weeks, scale %g) to %s\n", cfg.Name, weeks, scale, addr)
+	sc := bufio.NewScanner(pr)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var (
+		buf     bytes.Buffer
+		lines   int
+		sent    int
+		batches int
+	)
+	flush := func() error {
+		if lines == 0 {
+			return nil
+		}
+		resp, err := http.Post(addr+"/ingest", "text/plain", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return err
+		}
+		var ir ingestResponse
+		err = json.NewDecoder(resp.Body).Decode(&ir)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if ir.Error != "" {
+			return fmt.Errorf("ingest rejected: %s", ir.Error)
+		}
+		sent += ir.Accepted
+		buf.Reset()
+		lines = 0
+		batches++
+		if batches%25 == 0 {
+			if err := poll(addr, sent); err != nil {
+				return err
+			}
+			time.Sleep(pause)
+		}
+		return nil
+	}
+	for sc.Scan() {
+		buf.Write(sc.Bytes())
+		buf.WriteByte('\n')
+		lines++
+		if lines >= batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	fmt.Printf("feed complete: %d events sent\n", sent)
+	return finalReport(addr)
+}
+
+// poll prints a dashboard line mid-feed.
+func poll(addr string, sent int) error {
+	var st stats
+	if err := getJSON(addr+"/stats", &st); err != nil {
+		return err
+	}
+	fmt.Printf("  sent %7d | processed %6d (%.1f%% compressed) | rules %3d | retrains %d | warnings %d\n",
+		sent, st.Processed, 100*st.CompressionRate, st.Rules, len(st.Retrains), st.WarningsTotal)
+	return nil
+}
+
+// finalReport waits for the daemon's asynchronous pipeline to settle
+// (ingestion is acknowledged before filtering, prediction, and any
+// in-flight retraining complete), then prints the latest predictions.
+func finalReport(addr string) error {
+	var st stats
+	stable := 0
+	for i := 0; i < 200 && stable < 3; i++ {
+		prev := st
+		if err := getJSON(addr+"/stats", &st); err != nil {
+			return err
+		}
+		if i > 0 && st.Processed == prev.Processed && len(st.Retrains) == len(prev.Retrains) {
+			stable++
+		} else {
+			stable = 0
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("\ndaemon state: %d ingested, %d processed, %d rules live, %d retrains, %d warnings total\n",
+		st.Ingested, st.Processed, st.Rules, len(st.Retrains), st.WarningsTotal)
+	for _, r := range st.Retrains {
+		status := "ok"
+		if r.Err != "" {
+			status = "FAILED: " + r.Err
+		}
+		fmt.Printf("  retrain at stream time %s — %s\n",
+			time.UnixMilli(r.AtMs).UTC().Format("2006-01-02 15:04"), status)
+	}
+
+	var warns []warning
+	if err := getJSON(addr+"/warnings?n=10", &warns); err != nil {
+		return err
+	}
+	if len(warns) == 0 {
+		fmt.Println("no recent warnings (did the daemon retrain? check -train fits the feed length)")
+		os.Exit(1)
+	}
+	fmt.Println("\nmost recent predictions:")
+	for _, w := range warns {
+		fmt.Printf("  %s  failure expected within W_P  (%s rule %s)\n", w.Time, w.Source, w.Rule)
+	}
+	return nil
+}
+
+func getJSON(url string, v interface{}) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, b)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -138,6 +138,29 @@ type Result struct {
 	MatchDuration time.Duration
 }
 
+// TrainStep runs one (re)training pass — meta-learner over the training
+// slice, reviser, repository swap — and returns its record. It is the
+// single retraining step of Run, exported so long-running services
+// (internal/stream) can retrain outside an offline engine run. The
+// returned Retraining has Week zero; callers with a week timeline set it.
+func TrainStep(ml *meta.MetaLearner, repo *meta.Repository, slice []preprocess.TaggedEvent, params learner.Params) (Retraining, error) {
+	t0 := time.Now()
+	report, err := ml.Train(slice, params)
+	if err != nil {
+		return Retraining{}, err
+	}
+	churn := repo.Update(report)
+	return Retraining{
+		TrainEvents:      len(slice),
+		RepoSize:         repo.Len(),
+		WindowSec:        params.WindowSec,
+		Churn:            churn,
+		LearnerDurations: report.LearnerDurations,
+		ReviseDuration:   report.ReviseDuration,
+		Total:            time.Since(t0),
+	}, nil
+}
+
 // Run executes the framework over a preprocessed, time-sorted event
 // stream spanning [start, start + weeks). Training happens inside the
 // stream's own timeline: the first InitialTrainWeeks are training-only,
@@ -187,21 +210,13 @@ func Run(events []preprocess.TaggedEvent, start int64, weeks int, cfg Config) (*
 				params.WindowSec = wp
 			}
 		}
-		report, err := ml.Train(slice, params)
+		rt, err := TrainStep(ml, repo, slice, params)
 		if err != nil {
 			return err
 		}
-		churn := repo.Update(report)
-		res.Retrainings = append(res.Retrainings, Retraining{
-			Week:             effectiveWeek,
-			TrainEvents:      len(slice),
-			RepoSize:         repo.Len(),
-			WindowSec:        params.WindowSec,
-			Churn:            churn,
-			LearnerDurations: report.LearnerDurations,
-			ReviseDuration:   report.ReviseDuration,
-			Total:            time.Since(t0),
-		})
+		rt.Week = effectiveWeek
+		rt.Total = time.Since(t0) // include the tuner's share
+		res.Retrainings = append(res.Retrainings, rt)
 		return nil
 	}
 

@@ -56,53 +56,23 @@ type spatKey struct {
 }
 
 // Apply filters a time-sorted log and returns the compressed log (a new
-// Log; the input is unmodified) together with per-stage statistics.
+// Log; the input is unmodified) together with per-stage statistics. It is
+// the batch form of the streaming filter in incremental.go: both feed the
+// same temporal and spatial stages, so batch and incremental output are
+// identical on the same sorted input.
 func (f Filter) Apply(l *raslog.Log) (*raslog.Log, FilterStats) {
-	stats := FilterStats{Input: l.Len()}
 	if f.Threshold <= 0 {
 		out := l.Clone()
-		stats.AfterTemporal = out.Len()
-		stats.AfterSpatial = out.Len()
-		return out, stats
+		return out, FilterStats{Input: l.Len(), AfterTemporal: l.Len(), AfterSpatial: l.Len()}
 	}
-	thresholdMs := f.Threshold * 1000
-
-	// Stage 1: temporal compression at a single location.
-	temporal := raslog.NewLog(l.Name, l.Len()/4)
-	lastTemp := make(map[tempKey]int64, 4096)
+	inc := f.Incremental()
+	out := raslog.NewLog(l.Name, l.Len()/4)
 	for _, e := range l.Events {
-		k := tempKey{e.Location, e.JobID, e.Entry}
-		if last, seen := lastTemp[k]; seen && e.Time-last <= thresholdMs {
-			if f.Sliding {
-				lastTemp[k] = e.Time
-			}
-			continue
+		if inc.Observe(e) {
+			out.Append(e)
 		}
-		lastTemp[k] = e.Time
-		temporal.Append(e)
 	}
-	stats.AfterTemporal = temporal.Len()
-
-	// Stage 2: spatial compression across locations.
-	out := raslog.NewLog(l.Name, temporal.Len())
-	type spatState struct {
-		time int64
-		loc  string
-	}
-	lastSpat := make(map[spatKey]spatState, 4096)
-	for _, e := range temporal.Events {
-		k := spatKey{e.JobID, e.Entry}
-		if st, seen := lastSpat[k]; seen && e.Time-st.time <= thresholdMs && st.loc != e.Location {
-			if f.Sliding {
-				lastSpat[k] = spatState{e.Time, st.loc}
-			}
-			continue
-		}
-		lastSpat[k] = spatState{e.Time, e.Location}
-		out.Append(e)
-	}
-	stats.AfterSpatial = out.Len()
-	return out, stats
+	return out, inc.Stats()
 }
 
 // ThresholdSweep runs the filter at each threshold (seconds) and returns

@@ -1,0 +1,93 @@
+package raslog
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func scanLog(name string, events ...Event) *Log {
+	l := NewLog(name, len(events))
+	for _, e := range events {
+		l.Append(e)
+	}
+	return l
+}
+
+func TestScannerRoundTrip(t *testing.T) {
+	in := scanLog("s",
+		Event{RecordID: 1, Type: "RAS", Time: 1000, JobID: 7, Location: "R00-M0",
+			Facility: Kernel, Severity: Info, Entry: "hello"},
+		Event{RecordID: 2, Type: "RAS", Time: 2000, JobID: 8, Location: "R00-M1",
+			Facility: Monitor, Severity: Fatal, Entry: "boom"},
+	)
+	var buf bytes.Buffer
+	if _, err := WriteLog(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scanner must yield exactly what ReadLog returns.
+	want, err := ReadLog(bytes.NewReader(buf.Bytes()), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScanner(bytes.NewReader(buf.Bytes()))
+	var got []Event
+	for sc.Scan() {
+		got = append(got, sc.Event())
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if len(got) != want.Len() {
+		t.Fatalf("scanned %d events, want %d", len(got), want.Len())
+	}
+	for i := range got {
+		if got[i] != want.Events[i] {
+			t.Errorf("event %d: scanner %+v != ReadLog %+v", i, got[i], want.Events[i])
+		}
+	}
+}
+
+func TestScannerSkipsBlankLines(t *testing.T) {
+	input := "1|RAS|10|0|L|KERNEL|INFO|a\n\n\n2|RAS|20|0|L|KERNEL|INFO|b\n"
+	sc := NewScanner(strings.NewReader(input))
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if sc.Err() != nil || n != 2 {
+		t.Fatalf("got %d events, err %v; want 2, nil", n, sc.Err())
+	}
+}
+
+func TestScannerDecodeError(t *testing.T) {
+	input := "1|RAS|10|0|L|KERNEL|INFO|ok\nnot-a-record\n"
+	sc := NewScanner(strings.NewReader(input))
+	if !sc.Scan() {
+		t.Fatal("first line should scan")
+	}
+	if sc.Scan() {
+		t.Fatal("bad line should stop the scanner")
+	}
+	if sc.Err() == nil || !strings.Contains(sc.Err().Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", sc.Err())
+	}
+	if sc.Scan() {
+		t.Fatal("scanner must stay stopped after an error")
+	}
+}
+
+func TestScanLogCallbackError(t *testing.T) {
+	input := "1|RAS|10|0|L|KERNEL|INFO|a\n2|RAS|20|0|L|KERNEL|INFO|b\n"
+	sentinel := errors.New("stop")
+	n := 0
+	err := ScanLog(strings.NewReader(input), func(Event) error {
+		n++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || n != 1 {
+		t.Fatalf("got n=%d err=%v; want 1, sentinel", n, err)
+	}
+}

@@ -1,0 +1,120 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/raslog"
+)
+
+// NewMux returns the service's HTTP API:
+//
+//	POST /ingest    text-codec RAS lines (batched, one per line)
+//	GET  /warnings  recent warnings with their trigger rules (?n=50)
+//	GET  /stats     counters, compression, rule counts, retrain history
+//	GET  /healthz   liveness
+//	POST /retrain   force a synchronous training pass
+func NewMux(s *Service) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /warnings", s.handleWarnings)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /retrain", s.handleRetrain)
+	return mux
+}
+
+// ingestResponse reports one POST /ingest batch.
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
+// maxIngestBody bounds one ingest batch (64 MiB of log lines).
+const maxIngestBody = 64 << 20
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
+	resp := ingestResponse{}
+	err := raslog.ScanLog(body, func(e raslog.Event) error {
+		if err := s.Ingest(r.Context(), e); err != nil {
+			return err
+		}
+		resp.Accepted++
+		return nil
+	})
+	status := http.StatusOK
+	if err != nil {
+		resp.Error = err.Error()
+		status = http.StatusBadRequest
+		if err == ErrClosed {
+			status = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+// warningJSON is one /warnings entry: the prediction interval plus the
+// rule that triggered it.
+type warningJSON struct {
+	TimeMs     int64  `json:"time_ms"`
+	Time       string `json:"time"`
+	DeadlineMs int64  `json:"deadline_ms"`
+	Source     string `json:"source"`
+	Rule       string `json:"rule"`
+	Target     int    `json:"target"`
+}
+
+func (s *Service) handleWarnings(w http.ResponseWriter, r *http.Request) {
+	n := 50
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			http.Error(w, fmt.Sprintf("bad n=%q", v), http.StatusBadRequest)
+			return
+		}
+		n = parsed
+	}
+	warns := s.Warnings(n)
+	out := make([]warningJSON, len(warns))
+	for i, wr := range warns {
+		out[i] = warningJSON{
+			TimeMs:     wr.Time,
+			Time:       time.UnixMilli(wr.Time).UTC().Format(time.RFC3339),
+			DeadlineMs: wr.Deadline,
+			Source:     wr.Source.String(),
+			Rule:       wr.RuleID,
+			Target:     wr.Target,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Service) handleRetrain(w http.ResponseWriter, _ *http.Request) {
+	rec, err := s.TrainNow()
+	if err != nil {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

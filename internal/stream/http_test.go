@@ -1,0 +1,215 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/raslog"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewMux(s))
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+	return s, srv
+}
+
+func encodeLog(t *testing.T, l *raslog.Log) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := raslog.WriteLog(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postIngest(t *testing.T, url string, body []byte) ingestResponse {
+	t.Helper()
+	resp, err := http.Post(url+"/ingest", "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out ingestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHTTPIngestStatsWarnings(t *testing.T) {
+	l := genLog(t, 7, 14)
+	cfg := Defaults()
+	cfg.InitialTrain = 4 * week
+	cfg.RetrainEvery = 3 * week
+	cfg.TrainWindow = 8 * week
+	s, srv := newTestServer(t, cfg)
+
+	// Ingest the whole log in week-sized HTTP batches. After the first
+	// retrain boundary (4 weeks + reorder slack) wait for the background
+	// swap so the remaining weeks are observed by a live predictor.
+	for w := 0; w < l.Weeks(); w++ {
+		batch := &raslog.Log{Name: l.Name, Events: l.WeekSlice(w)}
+		resp := postIngest(t, srv.URL, encodeLog(t, batch))
+		if resp.Error != "" {
+			t.Fatalf("week %d: ingest error: %s", w, resp.Error)
+		}
+		if resp.Accepted != batch.Len() {
+			t.Fatalf("week %d: accepted %d of %d", w, resp.Accepted, batch.Len())
+		}
+		if w == 5 {
+			waitFor(t, 30*time.Second, func() bool { return s.Stats().Rules > 0 })
+		}
+	}
+
+	// The pipeline is asynchronous; wait until it settles (counters
+	// stable and no retrain in flight — the reorder buffer legitimately
+	// withholds the last ReorderWindow of stream time until Close).
+	deadline := time.Now().Add(30 * time.Second)
+	var prevSeq, prevProc int64 = -1, -1
+	stable := 0
+	for stable < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("pipeline did not settle in time")
+		}
+		st := s.Stats()
+		if st.Sequenced == prevSeq && st.Processed == prevProc && !st.Retraining {
+			stable++
+		} else {
+			stable = 0
+		}
+		prevSeq, prevProc = st.Sequenced, st.Processed
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	var st Stats
+	getJSON(t, srv.URL+"/stats", &st)
+	if st.Ingested != int64(l.Len()) {
+		t.Errorf("stats ingested = %d, want %d", st.Ingested, l.Len())
+	}
+	if len(st.Retrains) == 0 {
+		t.Error("no retrain completed during HTTP ingestion")
+	}
+
+	var warns []warningJSON
+	getJSON(t, srv.URL+"/warnings?n=500", &warns)
+	if len(warns) == 0 {
+		t.Fatal("GET /warnings returned no predictions")
+	}
+	for _, w := range warns {
+		if w.Rule == "" || w.Source == "" {
+			t.Fatalf("warning missing trigger rule: %+v", w)
+		}
+	}
+}
+
+func TestHTTPIngestBadLine(t *testing.T) {
+	_, srv := newTestServer(t, Defaults())
+	body := "1|RAS|10|0|L|KERNEL|INFO|ok\ngarbage line\n"
+	resp, err := http.Post(srv.URL+"/ingest", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var out ingestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted != 1 || out.Error == "" {
+		t.Fatalf("response = %+v; want 1 accepted and an error", out)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, srv := newTestServer(t, Defaults())
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPRetrain(t *testing.T) {
+	l := genLog(t, 5, 6)
+	cfg := Defaults()
+	cfg.InitialTrain = 10000 * week // manual retrain only
+	s, srv := newTestServer(t, cfg)
+	postIngest(t, srv.URL, encodeLog(t, l))
+
+	// Wait until the accepted events are visible in history.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Stats().Processed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no events processed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Post(srv.URL+"/retrain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /retrain = %d: %s", resp.StatusCode, b)
+	}
+	var rec RetrainRecord
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.TrainEvents == 0 || rec.RepoSize == 0 {
+		t.Fatalf("retrain record = %+v; want nonzero training set and repo", rec)
+	}
+	if s.Stats().Rules == 0 {
+		t.Error("no rules live after forced retrain")
+	}
+}
+
+func getJSON(t *testing.T, url string, v interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, b)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+func TestHTTPWarningsBadN(t *testing.T) {
+	_, srv := newTestServer(t, Defaults())
+	resp, err := http.Get(srv.URL + "/warnings?n=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,659 @@
+// Package stream is the online half of the framework: a long-running
+// ingestion and prediction service wrapping the same machinery the batch
+// engine replays offline (paper §4.3 — "an event-driven approach is well
+// suited for online failure prediction").
+//
+// Events flow through a concurrent pipeline:
+//
+//	Ingest ─→ sequencer ─→ per-location shards ─→ collector ─→ predictor
+//	           (reorder       (temporal filter       (seq-ordered merge,
+//	            buffer,        + categorizer,         spatial filter,
+//	            late drop)     parallel)              observe, retrain)
+//
+//   - The sequencer tolerates out-of-order arrivals with a bounded
+//     reorder buffer keyed on timestamp: events are released once the
+//     high-water mark has advanced past them by ReorderWindow (or the
+//     buffer overflows its limit). Events older than the release point
+//     are counted and dropped, preserving the sorted-stream invariant
+//     every downstream stage requires.
+//   - Shards run the streaming temporal filter (state is keyed by
+//     location, and a location is pinned to one shard) and the
+//     categorizer in parallel. Every event is forwarded — kept or not —
+//     carrying its sequence number, so the collector can restore the
+//     exact global order.
+//   - The single collector goroutine reassembles sequence order, applies
+//     the (globally-stateful) spatial filter, feeds the predictor, and
+//     accumulates history for retraining. Equivalence with the batch
+//     preprocessor on in-order input is pinned by TestPipelineMatchesBatch.
+//   - Retraining runs in the background on a snapshot of the history
+//     window (policies Static / Sliding / Whole, as in the engine) and
+//     swaps the refreshed predictor in via atomic.Pointer — the hot
+//     observe path takes no lock and never waits on a retrain.
+//
+// All queues are bounded; a full pipeline exerts backpressure on Ingest
+// rather than buffering without limit. Close drains everything in order.
+package stream
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/learner"
+	"repro/internal/meta"
+	"repro/internal/predictor"
+	"repro/internal/preprocess"
+	"repro/internal/raslog"
+)
+
+// ErrClosed is returned by Ingest after Close.
+var ErrClosed = errors.New("stream: service closed")
+
+// Config parameterizes a Service. Durations are measured in *stream time*
+// (event timestamps), so replayed or time-compressed feeds retrain on
+// their own timeline, exactly like the offline engine.
+type Config struct {
+	// Filter is the preprocessing filter (threshold + tupling mode).
+	Filter preprocess.Filter
+	// Params carries the prediction window W_P.
+	Params learner.Params
+	// Policy selects the training-set evolution (engine.Static /
+	// engine.Sliding / engine.Whole).
+	Policy engine.Policy
+	// InitialTrain is how much stream time must accumulate before the
+	// first training (paper default 26 weeks).
+	InitialTrain time.Duration
+	// TrainWindow is the sliding training-set length (Policy == Sliding).
+	TrainWindow time.Duration
+	// RetrainEvery is W_R, the retraining cadence.
+	RetrainEvery time.Duration
+	// Meta supplies the learners and reviser; nil means meta.New().
+	Meta *meta.MetaLearner
+
+	// Shards is the number of parallel temporal-filter/categorizer
+	// workers. Zero means 4.
+	Shards int
+	// QueueLen is the per-channel buffer length. Zero means 1024.
+	QueueLen int
+	// ReorderWindow is the out-of-order tolerance in stream time: an
+	// event is released from the reorder buffer once the newest seen
+	// timestamp exceeds it by this much. Zero means 60s.
+	ReorderWindow time.Duration
+	// ReorderLimit caps the reorder buffer; overflow releases the oldest
+	// event early. Zero means 4096.
+	ReorderLimit int
+	// WarningsKeep is how many recent warnings GET /warnings can serve.
+	// Zero means 256.
+	WarningsKeep int
+}
+
+// Defaults returns the paper's parameters: 300 s filter threshold,
+// W_P = 300 s, dynamic retraining every 4 weeks on a sliding six-month
+// window.
+func Defaults() Config {
+	const week = 7 * 24 * time.Hour
+	return Config{
+		Filter:       preprocess.Filter{Threshold: 300},
+		Params:       learner.Params{WindowSec: 300},
+		Policy:       engine.Sliding,
+		InitialTrain: 26 * week,
+		TrainWindow:  26 * week,
+		RetrainEvery: 4 * week,
+	}
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.Params.WindowSec <= 0 {
+		return out, fmt.Errorf("stream: WindowSec = %d, need > 0", out.Params.WindowSec)
+	}
+	if out.InitialTrain <= 0 {
+		return out, errors.New("stream: InitialTrain must be > 0")
+	}
+	if out.Policy == engine.Sliding && out.TrainWindow <= 0 {
+		return out, errors.New("stream: sliding policy needs TrainWindow > 0")
+	}
+	if out.Policy != engine.Static && out.RetrainEvery <= 0 {
+		return out, errors.New("stream: dynamic policy needs RetrainEvery > 0")
+	}
+	if out.Meta == nil {
+		out.Meta = meta.New()
+	}
+	if out.Shards <= 0 {
+		out.Shards = 4
+	}
+	if out.QueueLen <= 0 {
+		out.QueueLen = 1024
+	}
+	if out.ReorderWindow <= 0 {
+		out.ReorderWindow = time.Minute
+	}
+	if out.ReorderLimit <= 0 {
+		out.ReorderLimit = 4096
+	}
+	if out.WarningsKeep <= 0 {
+		out.WarningsKeep = 256
+	}
+	return out, nil
+}
+
+// seqEvent travels sequencer → shard.
+type seqEvent struct {
+	seq uint64
+	e   raslog.Event
+}
+
+// shardOut travels shard → collector. Every sequenced event arrives here,
+// kept or not, so the collector can release in exact sequence order.
+type shardOut struct {
+	seq  uint64
+	te   preprocess.TaggedEvent
+	kept bool
+}
+
+// RetrainRecord is one background (re)training, for /stats and tests.
+type RetrainRecord struct {
+	// At is the stream-time boundary (ms) the training set ends at.
+	At int64 `json:"at_ms"`
+	engine.Retraining
+	// Err is non-empty when the pass failed (the previous rule set stays
+	// live).
+	Err string `json:"err,omitempty"`
+}
+
+// Service is the streaming prediction service. Create with New, feed with
+// Ingest (safe for concurrent use), read Warnings/Stats at any time, and
+// Close to drain.
+type Service struct {
+	cfg  Config
+	repo *meta.Repository
+	zer  *preprocess.Categorizer
+
+	pr        atomic.Pointer[predictor.Predictor]
+	lastFatal atomic.Int64
+	ruleCount atomic.Int64
+
+	seqCh     chan raslog.Event
+	shardChs  []chan seqEvent
+	collectCh chan shardOut
+
+	closeMu sync.RWMutex
+	closed  bool
+	done    chan struct{} // collector finished
+
+	retraining atomic.Bool
+	retrainWG  sync.WaitGroup
+
+	// Counters (see Stats for meaning).
+	ingested      atomic.Int64
+	lateDropped   atomic.Int64
+	sequenced     atomic.Int64
+	afterTemporal atomic.Int64
+	processed     atomic.Int64
+	fatals        atomic.Int64
+	warningsTotal atomic.Int64
+	reorderDepth  atomic.Int64
+	streamStart   atomic.Int64 // ms; -1 until the first event
+	watermark     atomic.Int64 // ms of the newest collected event
+
+	mu          sync.Mutex
+	history     []preprocess.TaggedEvent
+	warnings    []predictor.Warning // ring of the last WarningsKeep
+	retrains    []RetrainRecord
+	nextRetrain int64 // ms; stream-time of the next due training
+}
+
+// New validates cfg, starts the pipeline goroutines, and returns the
+// running service.
+func New(cfg Config) (*Service, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:       full,
+		repo:      meta.NewRepository(),
+		zer:       preprocess.NewCategorizer(preprocess.NewCatalog()),
+		seqCh:     make(chan raslog.Event, full.QueueLen),
+		shardChs:  make([]chan seqEvent, full.Shards),
+		collectCh: make(chan shardOut, full.QueueLen),
+		done:      make(chan struct{}),
+	}
+	s.streamStart.Store(-1)
+	s.lastFatal.Store(-1)
+	for i := range s.shardChs {
+		s.shardChs[i] = make(chan seqEvent, full.QueueLen)
+	}
+
+	go s.sequencer()
+	var shardWG sync.WaitGroup
+	for i := range s.shardChs {
+		shardWG.Add(1)
+		go s.shard(i, &shardWG)
+	}
+	go func() {
+		shardWG.Wait()
+		close(s.collectCh)
+	}()
+	go s.collector()
+	return s, nil
+}
+
+// Ingest feeds one raw event. It blocks while the pipeline is saturated
+// (backpressure) until ctx is done or the service is closed. Events may
+// arrive modestly out of order (within ReorderWindow); later ones are
+// dropped and counted.
+func (s *Service) Ingest(ctx context.Context, e raslog.Event) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	select {
+	case s.seqCh <- e:
+		s.ingested.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops intake, drains every stage in order, waits for in-flight
+// retraining, and returns. Safe to call more than once.
+func (s *Service) Close() error {
+	s.closeMu.Lock()
+	already := s.closed
+	if !already {
+		s.closed = true
+		close(s.seqCh)
+	}
+	s.closeMu.Unlock()
+	<-s.done
+	s.retrainWG.Wait()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Sequencer: bounded reorder buffer keyed on timestamp.
+// ---------------------------------------------------------------------------
+
+type heapEntry struct {
+	e       raslog.Event
+	arrival uint64 // tie-break so equal timestamps keep arrival order
+}
+
+type eventHeap []heapEntry
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].e.Time != h[j].e.Time {
+		return h[i].e.Time < h[j].e.Time
+	}
+	return h[i].arrival < h[j].arrival
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+func (s *Service) sequencer() {
+	var (
+		buf         eventHeap
+		arrival     uint64
+		seq         uint64
+		maxSeen     = int64(-1 << 62)
+		lastEmitted = int64(-1 << 62)
+	)
+	tolMs := s.cfg.ReorderWindow.Milliseconds()
+
+	emit := func(e raslog.Event) {
+		if e.Time < lastEmitted {
+			s.lateDropped.Add(1)
+			return
+		}
+		lastEmitted = e.Time
+		se := seqEvent{seq: seq, e: e}
+		seq++
+		s.sequenced.Add(1)
+		s.shardChs[shardOf(e.Location, len(s.shardChs))] <- se
+	}
+
+	for e := range s.seqCh {
+		if e.Time > maxSeen {
+			maxSeen = e.Time
+		}
+		heap.Push(&buf, heapEntry{e: e, arrival: arrival})
+		arrival++
+		for len(buf) > 0 && (len(buf) > s.cfg.ReorderLimit || buf[0].e.Time <= maxSeen-tolMs) {
+			emit(heap.Pop(&buf).(heapEntry).e)
+		}
+		s.reorderDepth.Store(int64(len(buf)))
+	}
+	// Intake closed: flush the buffer in order.
+	for len(buf) > 0 {
+		emit(heap.Pop(&buf).(heapEntry).e)
+	}
+	s.reorderDepth.Store(0)
+	for _, ch := range s.shardChs {
+		close(ch)
+	}
+}
+
+func shardOf(location string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(location))
+	return int(h.Sum32() % uint32(n))
+}
+
+// ---------------------------------------------------------------------------
+// Shards: parallel temporal filtering + categorization.
+// ---------------------------------------------------------------------------
+
+func (s *Service) shard(i int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	temporal := preprocess.NewTemporalStage(s.cfg.Filter)
+	for se := range s.shardChs[i] {
+		out := shardOut{seq: se.seq}
+		if temporal.Observe(se.e) {
+			s.afterTemporal.Add(1)
+			class, fatal := s.zer.Categorize(se.e)
+			out.te = preprocess.TaggedEvent{Event: se.e, Class: class, Fatal: fatal}
+			out.kept = true
+		} else {
+			out.te.Event = se.e // carry the timestamp for the watermark
+		}
+		s.collectCh <- out
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Collector: ordered merge, spatial filter, predictor, retrain trigger.
+// ---------------------------------------------------------------------------
+
+func (s *Service) collector() {
+	defer close(s.done)
+	spatial := preprocess.NewSpatialStage(s.cfg.Filter)
+	pending := make(map[uint64]shardOut)
+	var next uint64
+	for out := range s.collectCh {
+		pending[out.seq] = out
+		for {
+			o, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			s.advance(o.te.Time)
+			if o.kept && spatial.Observe(o.te.Event) {
+				s.process(o.te)
+			}
+			s.maybeRetrain()
+		}
+	}
+}
+
+// advance moves the stream clock.
+func (s *Service) advance(t int64) {
+	if s.streamStart.Load() < 0 {
+		s.streamStart.Store(t)
+		s.mu.Lock()
+		s.nextRetrain = t + s.cfg.InitialTrain.Milliseconds()
+		s.mu.Unlock()
+	}
+	if t > s.watermark.Load() {
+		s.watermark.Store(t)
+	}
+}
+
+// process feeds one fully-filtered event to the history and the live
+// predictor. Runs only on the collector goroutine; the predictor pointer
+// is loaded once per event and never locked.
+func (s *Service) process(te preprocess.TaggedEvent) {
+	s.processed.Add(1)
+	var warns []predictor.Warning
+	if pr := s.pr.Load(); pr != nil {
+		warns = pr.Observe(te)
+	}
+	if te.Fatal {
+		s.fatals.Add(1)
+		s.lastFatal.Store(te.Time)
+	}
+
+	s.mu.Lock()
+	s.history = append(s.history, te)
+	s.trimHistoryLocked()
+	if len(warns) > 0 {
+		s.warningsTotal.Add(int64(len(warns)))
+		s.warnings = append(s.warnings, warns...)
+		if over := len(s.warnings) - s.cfg.WarningsKeep; over > 0 {
+			s.warnings = append(s.warnings[:0], s.warnings[over:]...)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// trimHistoryLocked bounds the history to what future retrainings can
+// use: nothing after a Static service has trained, the sliding window
+// (plus the untrained remainder) otherwise. Whole keeps everything.
+func (s *Service) trimHistoryLocked() {
+	switch s.cfg.Policy {
+	case engine.Static:
+		if len(s.retrains) > 0 {
+			s.history = s.history[:0]
+		}
+	case engine.Sliding:
+		if len(s.history)%1024 != 0 {
+			return
+		}
+		cutoff := s.nextRetrain - s.cfg.TrainWindow.Milliseconds()
+		i := 0
+		for i < len(s.history) && s.history[i].Time < cutoff {
+			i++
+		}
+		if i > 0 {
+			s.history = append(s.history[:0], s.history[i:]...)
+		}
+	}
+}
+
+// maybeRetrain starts a background training pass when the stream clock
+// crosses the next boundary and none is in flight.
+func (s *Service) maybeRetrain() {
+	wm := s.watermark.Load()
+	s.mu.Lock()
+	due := s.nextRetrain > 0 && wm >= s.nextRetrain
+	at := s.nextRetrain
+	s.mu.Unlock()
+	if !due || !s.retraining.CompareAndSwap(false, true) {
+		return
+	}
+	snapshot := s.snapshotTrainingSet(at)
+	s.mu.Lock()
+	if s.cfg.Policy == engine.Static {
+		s.nextRetrain = 1<<63 - 1 // never again
+	} else {
+		s.nextRetrain = at + s.cfg.RetrainEvery.Milliseconds()
+	}
+	s.mu.Unlock()
+	s.retrainWG.Add(1)
+	go s.retrain(at, snapshot)
+}
+
+// snapshotTrainingSet copies the policy's training slice ending at the
+// stream-time boundary `at` (ms).
+func (s *Service) snapshotTrainingSet(at int64) []preprocess.TaggedEvent {
+	var from int64 = -1 << 62
+	if s.cfg.Policy == engine.Sliding {
+		from = at - s.cfg.TrainWindow.Milliseconds()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]preprocess.TaggedEvent, 0, len(s.history))
+	for _, te := range s.history {
+		if te.Time >= from && te.Time < at {
+			out = append(out, te)
+		}
+	}
+	return out
+}
+
+// retrain runs one training pass off the hot path and atomically swaps
+// the refreshed predictor in. On error the previous rule set stays live.
+func (s *Service) retrain(at int64, snapshot []preprocess.TaggedEvent) RetrainRecord {
+	defer s.retrainWG.Done()
+	rec := RetrainRecord{At: at}
+	rt, err := engine.TrainStep(s.cfg.Meta, s.repo, snapshot, s.cfg.Params)
+	if err != nil {
+		rec.Err = err.Error()
+	} else {
+		rec.Retraining = rt
+		s.swapPredictor()
+	}
+	s.mu.Lock()
+	s.retrains = append(s.retrains, rec)
+	if s.cfg.Policy == engine.Static {
+		s.history = s.history[:0] // a static service never trains again
+	}
+	s.mu.Unlock()
+	s.retraining.Store(false)
+	// The stream may have crossed the next boundary while we trained (or
+	// gone idle right after); catch up instead of waiting for the next
+	// processed event. WG ordering is safe: this Add (if any) happens
+	// before our own Done.
+	s.maybeRetrain()
+	return rec
+}
+
+// swapPredictor builds a predictor over the repository's current rules
+// and publishes it copy-on-write; the observe path picks it up on its
+// next Load with no synchronization beyond the atomic pointer.
+func (s *Service) swapPredictor() {
+	rules := s.repo.Rules()
+	pr := predictor.New(rules, s.cfg.Params)
+	pr.GlobalDedup = true
+	if lf := s.lastFatal.Load(); lf >= 0 {
+		pr.SeedLastFatal(lf)
+	}
+	s.pr.Store(pr)
+	s.ruleCount.Store(int64(len(rules)))
+}
+
+// TrainNow runs a synchronous training pass over the accumulated history
+// up to the current watermark and swaps the result in. It is the manual
+// override of the stream-time schedule (exposed as POST /retrain).
+func (s *Service) TrainNow() (RetrainRecord, error) {
+	if !s.retraining.CompareAndSwap(false, true) {
+		return RetrainRecord{}, errors.New("stream: retraining already in flight")
+	}
+	at := s.watermark.Load() + 1
+	snapshot := s.snapshotTrainingSet(at)
+	s.retrainWG.Add(1)
+	rec := s.retrain(at, snapshot)
+	if rec.Err != "" {
+		return rec, errors.New(rec.Err)
+	}
+	return rec, nil
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------------
+
+// Warnings returns up to n of the most recent warnings, newest last.
+func (s *Service) Warnings(n int) []predictor.Warning {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 || n > len(s.warnings) {
+		n = len(s.warnings)
+	}
+	return append([]predictor.Warning(nil), s.warnings[len(s.warnings)-n:]...)
+}
+
+// Rules returns the live predictor's rule set (nil before first training).
+func (s *Service) Rules() []learner.Rule {
+	pr := s.pr.Load()
+	if pr == nil {
+		return nil
+	}
+	return pr.Rules()
+}
+
+// QueueDepths reports the instantaneous channel occupancy per stage.
+type QueueDepths struct {
+	Sequencer int   `json:"sequencer"`
+	Reorder   int   `json:"reorder"`
+	Shards    []int `json:"shards"`
+	Collector int   `json:"collector"`
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	// Ingested counts events accepted by Ingest; Sequenced the events
+	// released in order (Ingested - Sequenced - LateDropped are still
+	// buffered); LateDropped the events beyond the reorder tolerance.
+	Ingested    int64 `json:"ingested"`
+	Sequenced   int64 `json:"sequenced"`
+	LateDropped int64 `json:"late_dropped"`
+	// AfterTemporal / Processed are the filter's per-stage survivors;
+	// CompressionRate is 1 - Processed/Sequenced.
+	AfterTemporal   int64   `json:"after_temporal"`
+	Processed       int64   `json:"processed"`
+	CompressionRate float64 `json:"compression_rate"`
+	Fatals          int64   `json:"fatals"`
+	WarningsTotal   int64   `json:"warnings_total"`
+	Rules           int64   `json:"rules"`
+	Retraining      bool    `json:"retraining"`
+	// StreamStart / Watermark / NextRetrain are stream-time (ms).
+	StreamStart int64           `json:"stream_start_ms"`
+	Watermark   int64           `json:"watermark_ms"`
+	NextRetrain int64           `json:"next_retrain_ms"`
+	Queues      QueueDepths     `json:"queues"`
+	Retrains    []RetrainRecord `json:"retrains"`
+}
+
+// Stats snapshots the counters. Counters are read individually, so a
+// snapshot taken mid-flight may be momentarily inconsistent (e.g.
+// Processed ahead of a just-read Sequenced); each number is accurate.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Ingested:      s.ingested.Load(),
+		Sequenced:     s.sequenced.Load(),
+		LateDropped:   s.lateDropped.Load(),
+		AfterTemporal: s.afterTemporal.Load(),
+		Processed:     s.processed.Load(),
+		Fatals:        s.fatals.Load(),
+		WarningsTotal: s.warningsTotal.Load(),
+		Rules:         s.ruleCount.Load(),
+		Retraining:    s.retraining.Load(),
+		StreamStart:   s.streamStart.Load(),
+		Watermark:     s.watermark.Load(),
+		Queues: QueueDepths{
+			Sequencer: len(s.seqCh),
+			Reorder:   int(s.reorderDepth.Load()),
+			Shards:    make([]int, len(s.shardChs)),
+			Collector: len(s.collectCh),
+		},
+	}
+	for i, ch := range s.shardChs {
+		st.Queues.Shards[i] = len(ch)
+	}
+	if st.Sequenced > 0 {
+		st.CompressionRate = 1 - float64(st.Processed)/float64(st.Sequenced)
+	}
+	s.mu.Lock()
+	st.NextRetrain = s.nextRetrain
+	st.Retrains = append([]RetrainRecord(nil), s.retrains...)
+	s.mu.Unlock()
+	return st
+}

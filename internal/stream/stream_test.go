@@ -1,0 +1,239 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bgsim"
+	"repro/internal/engine"
+	"repro/internal/preprocess"
+	"repro/internal/raslog"
+)
+
+const week = 7 * 24 * time.Hour
+
+func genLog(t testing.TB, seed uint64, weeks int) *raslog.Log {
+	t.Helper()
+	g, err := bgsim.NewGenerator(bgsim.SDSC(seed).Scaled(weeks, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SortByTime()
+	return l
+}
+
+func ingestAll(t testing.TB, s *Service, l *raslog.Log) {
+	t.Helper()
+	ctx := context.Background()
+	for _, e := range l.Events {
+		if err := s.Ingest(ctx, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// waitFor polls cond until true or the deadline fails the test.
+func waitFor(t testing.TB, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// batchPreprocess is what repro.Preprocess does: batch filter + tag.
+func batchPreprocess(l *raslog.Log, f preprocess.Filter) []preprocess.TaggedEvent {
+	filtered, _ := f.Apply(l)
+	z := preprocess.NewCategorizer(preprocess.NewCatalog())
+	return z.Tag(filtered)
+}
+
+// TestPipelineMatchesBatch pins the concurrent pipeline (sequencer →
+// shards → collector) to the batch preprocessor: on an in-order feed the
+// accumulated history must equal Filter.Apply + Tag exactly, for any
+// shard count.
+func TestPipelineMatchesBatch(t *testing.T) {
+	for _, shards := range []int{1, 3, 8} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
+				l := genLog(t, seed, 6)
+				want := batchPreprocess(l, preprocess.Filter{Threshold: 300})
+
+				cfg := Defaults()
+				cfg.InitialTrain = 10000 * week // never train: isolate the filter path
+				cfg.Shards = shards
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ingestAll(t, s, l)
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				got := s.history
+				if len(got) != len(want) {
+					t.Fatalf("pipeline kept %d events, batch kept %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("event %d: pipeline %+v != batch %+v", i, got[i], want[i])
+					}
+				}
+				st := s.Stats()
+				if st.LateDropped != 0 || st.Sequenced != int64(l.Len()) {
+					t.Errorf("stats = %+v; want no late drops, %d sequenced", st, l.Len())
+				}
+			})
+		}
+	}
+}
+
+// TestRetrainsAndWarnsWhileStreaming drives the full service: ingesting a
+// multi-week log must complete retrain cycles on the stream's own
+// timeline, install rules, and emit warnings.
+func TestRetrainsAndWarnsWhileStreaming(t *testing.T) {
+	l := genLog(t, 7, 14)
+	cfg := Defaults()
+	cfg.InitialTrain = 4 * week
+	cfg.RetrainEvery = 3 * week
+	cfg.TrainWindow = 8 * week
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the training prefix, then wait for the first (background)
+	// rule swap so the live span is guaranteed to be observed — without
+	// this the test races the trainer on slow builds.
+	split := l.Start() + 6*week.Milliseconds()
+	ingestAll(t, s, &raslog.Log{Name: l.Name, Events: l.Window(l.Start(), split)})
+	waitFor(t, 30*time.Second, func() bool { return s.Stats().Rules > 0 })
+	ingestAll(t, s, &raslog.Log{Name: l.Name, Events: l.Window(split, l.End()+1)})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if len(st.Retrains) < 2 {
+		t.Fatalf("completed %d retrains over 14 weeks (initial 4w, every 3w); want >= 2; stats %+v",
+			len(st.Retrains), st)
+	}
+	for _, r := range st.Retrains {
+		if r.Err != "" {
+			t.Errorf("retrain at %d failed: %s", r.At, r.Err)
+		}
+	}
+	if st.Rules == 0 {
+		t.Error("no rules installed after retraining")
+	}
+	if st.WarningsTotal == 0 {
+		t.Error("no warnings emitted on a 14-week fatal-bearing log")
+	}
+	if got := s.Warnings(10); len(got) == 0 {
+		t.Error("Warnings(10) is empty despite WarningsTotal > 0")
+	}
+	if st.CompressionRate < 0.5 {
+		t.Errorf("compression rate %.2f; filter apparently not engaged", st.CompressionRate)
+	}
+}
+
+// TestOutOfOrderTolerance checks the reorder buffer: shuffles within the
+// tolerance are restored to time order; stale events beyond it are
+// dropped and counted, never observed out of order.
+func TestOutOfOrderTolerance(t *testing.T) {
+	cfg := Defaults()
+	cfg.InitialTrain = 10000 * week
+	cfg.ReorderWindow = time.Minute
+	cfg.Filter = preprocess.Filter{} // keep everything: inspect raw order
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	base := int64(1_000_000_000_000)
+	mk := func(sec int64, loc string) raslog.Event {
+		return raslog.Event{Time: base + sec*1000, Location: loc, Entry: "e",
+			Facility: raslog.Kernel, Severity: raslog.Info}
+	}
+	// 30 s swaps: within the 60 s tolerance.
+	for _, sec := range []int64{0, 60, 30, 120, 90, 180, 150} {
+		if err := s.Ingest(ctx, mk(sec, "L1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An hour-stale event: beyond tolerance once the watermark advances.
+	if err := s.Ingest(ctx, mk(3600*2, "L1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest(ctx, mk(1, "L2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.LateDropped != 1 {
+		t.Errorf("late dropped = %d, want 1", st.LateDropped)
+	}
+	var prev int64 = -1
+	for _, te := range s.history {
+		if te.Time < prev {
+			t.Fatalf("history out of order: %d after %d", te.Time, prev)
+		}
+		prev = te.Time
+	}
+	if len(s.history) != 8 {
+		t.Errorf("history has %d events, want 8 (7 in-tolerance + 1 tail)", len(s.history))
+	}
+}
+
+// TestIngestAfterClose verifies the intake gate.
+func TestIngestAfterClose(t *testing.T) {
+	s, err := New(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest(context.Background(), raslog.Event{}); err != ErrClosed {
+		t.Fatalf("Ingest after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestStaticPolicyTrainsOnce checks that Static trains at the initial
+// boundary and then stops accumulating history.
+func TestStaticPolicyTrainsOnce(t *testing.T) {
+	l := genLog(t, 3, 10)
+	cfg := Defaults()
+	cfg.Policy = engine.Static
+	cfg.InitialTrain = 3 * week
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, s, l)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if len(st.Retrains) != 1 {
+		t.Fatalf("static policy retrained %d times, want exactly 1", len(st.Retrains))
+	}
+	if len(s.history) != 0 {
+		t.Errorf("static policy retained %d history events after training", len(s.history))
+	}
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Full verification gate: tier-1 (build + tests) plus vet and the race
+# detector. The race pass is what the concurrent streaming service
+# (internal/stream, cmd/serve) is held to.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test ./..."
+go test ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "verify: OK"
