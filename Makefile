@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench
+.PHONY: build test verify bench bench-all
 
 build:
 	$(GO) build ./...
@@ -13,5 +13,12 @@ test: build
 verify:
 	sh scripts/verify.sh
 
+# Component benchmarks of the training pipeline, snapshotted to
+# BENCH_2.json (see scripts/bench.sh; BENCHTIME=20x make bench for
+# steadier numbers).
 bench:
+	sh scripts/bench.sh
+
+# The full benchmark suite: every table/figure plus the ablations.
+bench-all:
 	$(GO) test -bench . -benchmem -run '^$$'

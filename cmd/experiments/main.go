@@ -5,10 +5,17 @@
 // Usage:
 //
 //	experiments [-out results] [-seed 2008] [-quick] [-weeks N] [-scale F]
+//	            [-parallelism N] [-cpuprofile F] [-memprofile F]
 //
 // The default is the full-scale ANL and SDSC presets (a few minutes and
 // a few GB of transient memory for the raw ANL log); -quick runs a
 // shortened, duplication-reduced configuration in seconds.
+//
+// -parallelism bounds the worker count everywhere (experiment grids,
+// base learners, Apriori counting, reviser scoring): 0 (the default)
+// means GOMAXPROCS, 1 forces the fully serial pipeline. Results are
+// identical at any setting. -cpuprofile / -memprofile write pprof
+// profiles of the run for performance work.
 package main
 
 import (
@@ -16,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bgsim"
@@ -28,15 +37,46 @@ func main() {
 	quick := flag.Bool("quick", false, "run the reduced quick suite")
 	weeks := flag.Int("weeks", 0, "override log length in weeks (0 = preset)")
 	scale := flag.Float64("scale", -1, "override raw duplication scale (<0 = preset)")
+	parallelism := flag.Int("parallelism", 0, "training/experiment workers (0 = GOMAXPROCS, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*out, *seed, *quick, *weeks, *scale); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if err := run(*out, *seed, *quick, *weeks, *scale, *parallelism); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(out string, seed uint64, quick bool, weeks int, scale float64) error {
+func run(out string, seed uint64, quick bool, weeks int, scale float64, parallelism int) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -63,6 +103,7 @@ func run(out string, seed uint64, quick bool, weeks int, scale float64) error {
 	if err != nil {
 		return err
 	}
+	suite.Parallelism = parallelism
 	for _, sd := range suite.Systems {
 		fmt.Printf("  %s: %d raw events -> %d filtered, %d fatals\n",
 			sd.Cfg.Name, sd.RawCount, sd.Filtered.Len(), sd.Fatals)

@@ -5,6 +5,7 @@
 //
 //	serve [-addr :8080] [-filter 300] [-window 300] [-train 26] [-retrain 4]
 //	      [-policy sliding|whole|static] [-shards 4] [-reorder 60]
+//	      [-parallelism 0]
 //
 // API:
 //
@@ -46,15 +47,16 @@ func main() {
 	shards := flag.Int("shards", 4, "parallel preprocessing shards")
 	reorder := flag.Int64("reorder", 60, "out-of-order tolerance in stream-time seconds")
 	queue := flag.Int("queue", 1024, "per-stage queue length")
+	parallelism := flag.Int("parallelism", 0, "background-training workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	if err := run(*addr, *filter, *window, *train, *retrain, *policy, *shards, *reorder, *queue); err != nil {
+	if err := run(*addr, *filter, *window, *train, *retrain, *policy, *shards, *reorder, *queue, *parallelism); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, filter, window int64, train, retrain float64, policy string, shards int, reorder int64, queue int) error {
+func run(addr string, filter, window int64, train, retrain float64, policy string, shards int, reorder int64, queue, parallelism int) error {
 	const week = 7 * 24 * time.Hour
 	cfg := stream.Defaults()
 	cfg.Filter.Threshold = filter
@@ -65,6 +67,7 @@ func run(addr string, filter, window int64, train, retrain float64, policy strin
 	cfg.Shards = shards
 	cfg.ReorderWindow = time.Duration(reorder) * time.Second
 	cfg.QueueLen = queue
+	cfg.Parallelism = parallelism
 	switch policy {
 	case "sliding":
 		cfg.Policy = engine.Sliding

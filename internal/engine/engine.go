@@ -73,6 +73,15 @@ type Config struct {
 	// training set (the paper's adaptive-window future work). Params
 	// then only supplies the initial value.
 	Tuner *WindowTuner
+	// Parallelism bounds training concurrency (base learners, Apriori
+	// counting, reviser scoring): 0 means GOMAXPROCS, 1 forces the serial
+	// pipeline. Results are identical at any setting.
+	Parallelism int
+	// NoEventSetReuse disables the incremental event-set cache that
+	// carries Apriori transactions across overlapping retraining windows.
+	// The cache is exact (see learner.EventSetCache); the switch exists
+	// for equivalence testing and measurement.
+	NoEventSetReuse bool
 }
 
 // Defaults returns the paper's default configuration: dynamic retraining
@@ -144,8 +153,16 @@ type Result struct {
 // (internal/stream) can retrain outside an offline engine run. The
 // returned Retraining has Week zero; callers with a week timeline set it.
 func TrainStep(ml *meta.MetaLearner, repo *meta.Repository, slice []preprocess.TaggedEvent, params learner.Params) (Retraining, error) {
+	return TrainStepPrepared(ml, repo, learner.Prepare(slice), params)
+}
+
+// TrainStepPrepared is TrainStep over a caller-prepared training view —
+// the engine and the stream service install their incremental event-set
+// caches on the view before coming in here.
+func TrainStepPrepared(ml *meta.MetaLearner, repo *meta.Repository, pre *learner.Prepared, params learner.Params) (Retraining, error) {
+	slice := pre.Events
 	t0 := time.Now()
-	report, err := ml.Train(slice, params)
+	report, err := ml.TrainPrepared(pre, params)
 	if err != nil {
 		return Retraining{}, err
 	}
@@ -173,9 +190,20 @@ func Run(events []preprocess.TaggedEvent, start int64, weeks int, cfg Config) (*
 	if ml == nil {
 		ml = meta.New()
 	}
+	if cfg.Parallelism != 0 {
+		ml.SetParallelism(cfg.Parallelism)
+	}
 	res := &Result{Config: cfg, Start: start, Weeks: weeks, TestFrom: cfg.InitialTrainWeeks}
 	repo := meta.NewRepository()
 	params := cfg.Params
+	// setCache carries Apriori transactions across the overlapping
+	// training windows of the retraining sequence: a sliding window drops
+	// a few expired weeks and appends a few new ones, so most event sets
+	// survive verbatim and only the boundary is rebuilt.
+	var setCache *learner.EventSetCache
+	if !cfg.NoEventSetReuse {
+		setCache = learner.NewEventSetCache()
+	}
 
 	weekMs := int64(raslog.MillisPerWeek)
 	at := func(week int) int64 { return start + int64(week)*weekMs }
@@ -210,7 +238,13 @@ func Run(events []preprocess.TaggedEvent, start int64, weeks int, cfg Config) (*
 				params.WindowSec = wp
 			}
 		}
-		rt, err := TrainStep(ml, repo, slice, params)
+		pre := learner.Prepare(slice)
+		if setCache != nil {
+			pre.SetsFor = func(windowMs int64, maxItems int) []learner.EventSet {
+				return setCache.Sets(events, from, to, windowMs, maxItems)
+			}
+		}
+		rt, err := TrainStepPrepared(ml, repo, pre, params)
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/bgsim"
@@ -74,20 +75,67 @@ func Load(cfg *bgsim.Config) (*SystemData, error) {
 type Suite struct {
 	Systems []*SystemData
 	Params  learner.Params
+	// Parallelism bounds how many independent engine runs a multi-cell
+	// experiment (Figures 7, 9, 10) executes concurrently, and flows into
+	// every run's training pipeline: 0 means GOMAXPROCS, 1 forces serial.
+	// Each cell is an independent run over read-only system data, so the
+	// reports are identical at any setting.
+	Parallelism int
 }
 
 // NewSuite loads the given configurations (typically the ANL and SDSC
-// presets, possibly scaled down for quick runs).
+// presets, possibly scaled down for quick runs). Systems generate and
+// preprocess independently, so they load concurrently.
 func NewSuite(cfgs ...*bgsim.Config) (*Suite, error) {
 	s := &Suite{Params: learner.Params{WindowSec: 300}}
-	for _, cfg := range cfgs {
-		sd, err := Load(cfg)
+	s.Systems = make([]*SystemData, len(cfgs))
+	err := forEach(len(cfgs), learner.Workers(0), func(i int) error {
+		sd, err := Load(cfgs[i])
 		if err != nil {
-			return nil, fmt.Errorf("exp: loading %s: %w", cfg.Name, err)
+			return fmt.Errorf("exp: loading %s: %w", cfgs[i].Name, err)
 		}
-		s.Systems = append(s.Systems, sd)
+		s.Systems[i] = sd
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// forEach runs fn(0..n-1) under at most `workers` goroutines and returns
+// the lowest-index error (matching what a serial loop would surface).
+func forEach(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // DefaultSuite loads the full-scale ANL and SDSC presets.
@@ -145,6 +193,7 @@ func (s *Suite) run(sd *SystemData, cfg engine.Config) (*engine.Result, error) {
 func (s *Suite) engineDefaults(sd *SystemData) engine.Config {
 	cfg := engine.Defaults()
 	cfg.Params = s.Params
+	cfg.Parallelism = s.Parallelism
 	if sd.Cfg.Weeks <= cfg.InitialTrainWeeks+4 {
 		cfg.InitialTrainWeeks = sd.Cfg.Weeks / 2
 		cfg.TrainWeeks = cfg.InitialTrainWeeks

@@ -128,22 +128,42 @@ func (s *Suite) Figure7() (*Report, error) {
 		},
 		SeriesHeader: []string{"log", "method", "week", "precision", "recall"},
 	}
+	// Every (system, method) cell is an independent engine run over
+	// read-only data: run the grid concurrently, assemble rows in order.
+	type job struct {
+		sd     *SystemData
+		method string
+		kind   *learner.Kind
+		res    *engine.Result
+	}
+	var jobs []*job
 	for _, sd := range s.Systems {
 		for _, m := range figure7Methods() {
-			cfg := s.engineDefaults(sd)
-			cfg.Policy = engine.Static
-			cfg.KindFilter = m.kind
-			res, err := s.run(sd, cfg)
-			if err != nil {
-				return nil, err
-			}
-			p, rec, pe, re, pl, rl := meanEarlyLate(res.Weekly, res.TestFrom, sd.Cfg.Weeks)
-			r.Rows = append(r.Rows, []string{sd.Cfg.Name, m.name,
-				f2(p), f2(rec), f2(pe), f2(re), f2(pl), f2(rl)})
-			for _, wp := range res.Weekly {
-				r.Series = append(r.Series, []string{sd.Cfg.Name, m.name,
-					d(wp.Week), f3(wp.Precision()), f3(wp.Recall())})
-			}
+			jobs = append(jobs, &job{sd: sd, method: m.name, kind: m.kind})
+		}
+	}
+	err := forEach(len(jobs), learner.Workers(s.Parallelism), func(i int) error {
+		j := jobs[i]
+		cfg := s.engineDefaults(j.sd)
+		cfg.Policy = engine.Static
+		cfg.KindFilter = j.kind
+		res, err := s.run(j.sd, cfg)
+		if err != nil {
+			return err
+		}
+		j.res = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range jobs {
+		p, rec, pe, re, pl, rl := meanEarlyLate(j.res.Weekly, j.res.TestFrom, j.sd.Cfg.Weeks)
+		r.Rows = append(r.Rows, []string{j.sd.Cfg.Name, j.method,
+			f2(p), f2(rec), f2(pe), f2(re), f2(pl), f2(rl)})
+		for _, wp := range j.res.Weekly {
+			r.Series = append(r.Series, []string{j.sd.Cfg.Name, j.method,
+				d(wp.Week), f3(wp.Precision()), f3(wp.Recall())})
 		}
 	}
 	return r, nil
@@ -233,34 +253,48 @@ func (s *Suite) Figure9() (*Report, error) {
 		},
 		SeriesHeader: []string{"log", "policy", "week", "precision", "recall"},
 	}
+	type job struct {
+		sd     *SystemData
+		policy string
+		cfg    engine.Config
+		res    *engine.Result
+	}
+	var jobs []*job
 	for _, sd := range s.Systems {
 		base := s.engineDefaults(sd)
+		threeMo := base
+		threeMo.TrainWeeks = base.TrainWeeks / 2
 		policies := []struct {
 			name string
-			mod  func(*engine.Config)
+			cfg  engine.Config
+			pol  engine.Policy
 		}{
-			{"dynamic-whole", func(c *engine.Config) { c.Policy = engine.Whole }},
-			{"dynamic-6mo", func(c *engine.Config) { c.Policy = engine.Sliding }},
-			{"dynamic-3mo", func(c *engine.Config) {
-				c.Policy = engine.Sliding
-				c.TrainWeeks = base.TrainWeeks / 2
-			}},
-			{"static", func(c *engine.Config) { c.Policy = engine.Static }},
+			{"dynamic-whole", base, engine.Whole},
+			{"dynamic-6mo", base, engine.Sliding},
+			{"dynamic-3mo", threeMo, engine.Sliding},
+			{"static", base, engine.Static},
 		}
 		for _, pol := range policies {
-			cfg := base
-			pol.mod(&cfg)
-			res, err := s.run(sd, cfg)
-			if err != nil {
-				return nil, err
-			}
-			p, rec, pe, re, pl, rl := meanEarlyLate(res.Weekly, res.TestFrom, sd.Cfg.Weeks)
-			r.Rows = append(r.Rows, []string{sd.Cfg.Name, pol.name,
-				f2(p), f2(rec), f2(pe), f2(re), f2(pl), f2(rl)})
-			for _, wp := range res.Weekly {
-				r.Series = append(r.Series, []string{sd.Cfg.Name, pol.name,
-					d(wp.Week), f3(wp.Precision()), f3(wp.Recall())})
-			}
+			cfg := pol.cfg
+			cfg.Policy = pol.pol
+			jobs = append(jobs, &job{sd: sd, policy: pol.name, cfg: cfg})
+		}
+	}
+	err := forEach(len(jobs), learner.Workers(s.Parallelism), func(i int) error {
+		res, err := s.run(jobs[i].sd, jobs[i].cfg)
+		jobs[i].res = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range jobs {
+		p, rec, pe, re, pl, rl := meanEarlyLate(j.res.Weekly, j.res.TestFrom, j.sd.Cfg.Weeks)
+		r.Rows = append(r.Rows, []string{j.sd.Cfg.Name, j.policy,
+			f2(p), f2(rec), f2(pe), f2(re), f2(pl), f2(rl)})
+		for _, wp := range j.res.Weekly {
+			r.Series = append(r.Series, []string{j.sd.Cfg.Name, j.policy,
+				d(wp.Week), f3(wp.Precision()), f3(wp.Recall())})
 		}
 	}
 	return r, nil
@@ -279,26 +313,40 @@ func (s *Suite) Figure10() (*Report, error) {
 		},
 		SeriesHeader: []string{"log", "wr", "week", "precision", "recall"},
 	}
+	type job struct {
+		sd  *SystemData
+		wr  int
+		res *engine.Result
+	}
+	var jobs []*job
 	for _, sd := range s.Systems {
 		for _, wr := range []int{2, 4, 8} {
-			cfg := s.engineDefaults(sd)
-			cfg.RetrainWeeks = wr
-			res, err := s.run(sd, cfg)
-			if err != nil {
-				return nil, err
-			}
-			p, rec, _, _, _, _ := meanEarlyLate(res.Weekly, res.TestFrom, sd.Cfg.Weeks)
-			dipP, dipR := windowMean(res.Weekly, sd.Cfg.ReconfigWeek, sd.Cfg.ReconfigWeek+4)
-			afterP, afterR := windowMean(res.Weekly, sd.Cfg.ReconfigWeek+8, sd.Cfg.ReconfigWeek+20)
-			dip := []string{"-", "-", "-", "-"}
-			if sd.Cfg.ReconfigWeek >= 0 {
-				dip = []string{f2(dipP), f2(dipR), f2(afterP), f2(afterR)}
-			}
-			r.Rows = append(r.Rows, append([]string{sd.Cfg.Name, d(wr), f2(p), f2(rec)}, dip...))
-			for _, wp := range res.Weekly {
-				r.Series = append(r.Series, []string{sd.Cfg.Name, d(wr),
-					d(wp.Week), f3(wp.Precision()), f3(wp.Recall())})
-			}
+			jobs = append(jobs, &job{sd: sd, wr: wr})
+		}
+	}
+	err := forEach(len(jobs), learner.Workers(s.Parallelism), func(i int) error {
+		cfg := s.engineDefaults(jobs[i].sd)
+		cfg.RetrainWeeks = jobs[i].wr
+		res, err := s.run(jobs[i].sd, cfg)
+		jobs[i].res = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range jobs {
+		sd := j.sd
+		p, rec, _, _, _, _ := meanEarlyLate(j.res.Weekly, j.res.TestFrom, sd.Cfg.Weeks)
+		dipP, dipR := windowMean(j.res.Weekly, sd.Cfg.ReconfigWeek, sd.Cfg.ReconfigWeek+4)
+		afterP, afterR := windowMean(j.res.Weekly, sd.Cfg.ReconfigWeek+8, sd.Cfg.ReconfigWeek+20)
+		dip := []string{"-", "-", "-", "-"}
+		if sd.Cfg.ReconfigWeek >= 0 {
+			dip = []string{f2(dipP), f2(dipR), f2(afterP), f2(afterR)}
+		}
+		r.Rows = append(r.Rows, append([]string{sd.Cfg.Name, d(j.wr), f2(p), f2(rec)}, dip...))
+		for _, wp := range j.res.Weekly {
+			r.Series = append(r.Series, []string{sd.Cfg.Name, d(j.wr),
+				d(wp.Week), f3(wp.Precision()), f3(wp.Recall())})
 		}
 	}
 	return r, nil

@@ -4,14 +4,19 @@
 // confidence. Low thresholds (support 0.01, confidence 0.1) are used on
 // purpose — failures are rare events — and the reviser later discards the
 // rules that do not hold up.
+//
+// Counting — the Apriori hot loop — decomposes by transaction: the event
+// sets are sharded across workers, each worker fills a private count
+// array, and the per-worker arrays are merged in worker order, so the
+// mined rule set is byte-identical to the serial scan at any parallelism.
 package assoc
 
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/learner"
-	"repro/internal/preprocess"
 )
 
 // maxClassBits is the field width used to pack an itemset into a uint64
@@ -21,6 +26,10 @@ const (
 	maxClassBits   = 16
 	maxPackedItems = 64 / maxClassBits // 4
 )
+
+// minSetsPerWorker is the smallest shard worth a goroutine; below it the
+// counting runs serially regardless of the Parallelism knob.
+const minSetsPerWorker = 256
 
 // Learner mines association rules {non-fatal classes} => fatal class.
 type Learner struct {
@@ -40,6 +49,9 @@ type Learner struct {
 	// win. Mining with permissive support floods the candidate set with
 	// near-duplicates otherwise. 0 means unlimited.
 	MaxRules int
+	// Parallelism bounds the counting workers: 0 means GOMAXPROCS,
+	// 1 forces the serial scan. Output is identical either way.
+	Parallelism int
 }
 
 // New returns a learner with the paper's parameters.
@@ -51,11 +63,10 @@ func New() *Learner {
 // Name implements learner.Learner.
 func (l *Learner) Name() string { return "association" }
 
-// Learn implements learner.Learner: it builds event sets from the stream
-// and runs Apriori over them.
-func (l *Learner) Learn(events []preprocess.TaggedEvent, p learner.Params) ([]learner.Rule, error) {
-	sets := learner.BuildEventSets(events, p, l.MaxItems)
-	return l.Mine(sets)
+// Learn implements learner.Learner: it mines the prepared view's event
+// sets — shared with any other learner asking for the same transactions.
+func (l *Learner) Learn(tr *learner.Prepared, p learner.Params) ([]learner.Rule, error) {
+	return l.Mine(tr.EventSets(p, l.MaxItems))
 }
 
 // Mine runs Apriori directly over prepared event sets (exposed separately
@@ -77,15 +88,19 @@ func (l *Learner) Mine(sets []learner.EventSet) ([]learner.Rule, error) {
 		// Itemset keys pack into a uint64; larger bodies would collide.
 		maxBody = maxPackedItems
 	}
+	workers := learner.Workers(l.Parallelism)
+	if max := (n + minSetsPerWorker - 1) / minSetsPerWorker; workers > max {
+		workers = max
+	}
 
 	var rules []learner.Rule
-	frequent := l.frequentItems(sets, minCount) // level 1
+	frequent := frequentItems(sets, minCount) // level 1
 	level := make([]itemset, 0, len(frequent))
 	for _, it := range frequent {
 		level = append(level, itemset{items: []int{it}})
 	}
 	for k := 1; k <= maxBody && len(level) > 0; k++ {
-		counts := countItemsets(sets, level, frequent)
+		counts := countItemsets(sets, level, frequent, workers)
 		var kept []itemset
 		for i := range level {
 			c := counts[i]
@@ -93,11 +108,11 @@ func (l *Learner) Mine(sets []learner.EventSet) ([]learner.Rule, error) {
 				continue
 			}
 			kept = append(kept, level[i])
-			for target, tc := range c.byTarget {
-				if tc < minCount {
+			for _, tc := range c.byTarget {
+				if tc.count < minCount {
 					continue
 				}
-				conf := float64(tc) / float64(c.global)
+				conf := float64(tc.count) / float64(c.global)
 				if conf < l.MinConfidence {
 					continue
 				}
@@ -105,9 +120,9 @@ func (l *Learner) Mine(sets []learner.EventSet) ([]learner.Rule, error) {
 				rules = append(rules, learner.Rule{
 					Kind:       learner.Association,
 					Body:       body,
-					Target:     target,
+					Target:     tc.target,
 					Confidence: conf,
-					Support:    float64(tc) / float64(n),
+					Support:    float64(tc.count) / float64(n),
 				})
 			}
 		}
@@ -138,27 +153,70 @@ type itemset struct {
 	items []int // sorted
 }
 
-type itemsetCount struct {
-	global   int
-	byTarget map[int]int
+// targetCount is one (fatal class, count) pair of an itemsetCount. The
+// handful of fatal classes an itemset precedes makes a linear-scan
+// association list cheaper than a map — no per-candidate allocation until
+// a target is actually seen.
+type targetCount struct {
+	target int
+	count  int
 }
 
-// frequentItems returns the sorted non-fatal classes that appear in at
-// least minCount event sets.
-func (l *Learner) frequentItems(sets []learner.EventSet, minCount int) []int {
-	counts := make(map[int]int)
-	for _, s := range sets {
-		for _, it := range s.Items {
+type itemsetCount struct {
+	global   int
+	byTarget []targetCount
+}
+
+// addTarget adds n to the target's count.
+func (c *itemsetCount) addTarget(target, n int) {
+	for i := range c.byTarget {
+		if c.byTarget[i].target == target {
+			c.byTarget[i].count += n
+			return
+		}
+	}
+	c.byTarget = append(c.byTarget, targetCount{target: target, count: n})
+}
+
+// bitset is a dense membership set over class IDs.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) has(i int) bool {
+	return i>>6 < len(b) && b[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// frequentItems returns the ascending non-fatal classes that appear in at
+// least minCount event sets, counted in a dense array preallocated from
+// the largest class ID present (the catalog plus the unknown-event
+// fallback bound it).
+func frequentItems(sets []learner.EventSet, minCount int) []int {
+	maxID := -1
+	for i := range sets {
+		for _, it := range sets[i].Items {
+			if it > maxID {
+				maxID = it
+			}
+		}
+	}
+	if maxID < 0 {
+		return nil
+	}
+	counts := make([]int32, maxID+1)
+	for i := range sets {
+		for _, it := range sets[i].Items {
 			counts[it]++
 		}
 	}
 	var out []int
 	for it, c := range counts {
-		if c >= minCount {
+		if int(c) >= minCount {
 			out = append(out, it)
 		}
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -174,12 +232,12 @@ func pack(items []int) uint64 {
 
 // countItemsets counts, for each candidate, how many event sets contain it
 // (global) and how many per target class. Candidates must share a size.
-func countItemsets(sets []learner.EventSet, candidates []itemset, frequentItems []int) []itemsetCount {
+// With workers > 1 the event sets are sharded into contiguous ranges, each
+// worker counts into a private array, and the arrays are merged in worker
+// order — the result is identical to the serial scan.
+func countItemsets(sets []learner.EventSet, candidates []itemset, frequentItems []int, workers int) []itemsetCount {
 	counts := make([]itemsetCount, len(candidates))
-	for i := range counts {
-		counts[i].byTarget = make(map[int]int)
-	}
-	if len(candidates) == 0 {
+	if len(candidates) == 0 || len(sets) == 0 {
 		return counts
 	}
 	k := len(candidates[0].items)
@@ -187,18 +245,57 @@ func countItemsets(sets []learner.EventSet, candidates []itemset, frequentItems 
 	for i, c := range candidates {
 		index[pack(c.items)] = i
 	}
-	freq := make(map[int]bool, len(frequentItems))
+	maxFreq := 0
 	for _, it := range frequentItems {
-		freq[it] = true
+		if it > maxFreq {
+			maxFreq = it
+		}
 	}
+	freq := newBitset(maxFreq + 1)
+	for _, it := range frequentItems {
+		freq.set(it)
+	}
+
+	if workers <= 1 {
+		countRange(sets, k, index, freq, counts)
+		return counts
+	}
+	parts := make([][]itemsetCount, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(sets) / workers
+		hi := (w + 1) * len(sets) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			part := make([]itemsetCount, len(candidates))
+			countRange(sets[lo:hi], k, index, freq, part)
+			parts[w] = part
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, part := range parts { // merge deterministically, in worker order
+		for i := range part {
+			counts[i].global += part[i].global
+			for _, tc := range part[i].byTarget {
+				counts[i].addTarget(tc.target, tc.count)
+			}
+		}
+	}
+	return counts
+}
+
+// countRange is one worker's serial scan over a shard of the event sets.
+func countRange(sets []learner.EventSet, k int, index map[uint64]int, freq bitset, counts []itemsetCount) {
 	combo := make([]int, k)
 	var trimmed []int
-	for _, s := range sets {
+	for si := range sets {
+		s := &sets[si]
 		// Restrict the transaction to globally frequent items first — the
 		// standard Apriori transaction-trimming optimization.
 		trimmed = trimmed[:0]
 		for _, it := range s.Items {
-			if freq[it] {
+			if freq.has(it) {
 				trimmed = append(trimmed, it)
 			}
 		}
@@ -208,11 +305,10 @@ func countItemsets(sets []learner.EventSet, candidates []itemset, frequentItems 
 		enumerate(trimmed, combo, 0, 0, func(c []int) {
 			if i, ok := index[pack(c)]; ok {
 				counts[i].global++
-				counts[i].byTarget[s.Target]++
+				counts[i].addTarget(s.Target, 1)
 			}
 		})
 	}
-	return counts
 }
 
 // enumerate visits every size-len(combo) combination of items (which are

@@ -191,7 +191,7 @@ func TestLearnEndToEnd(t *testing.T) {
 		events = append(events,
 			mk(base, 1, false), mk(base+50, 2, false), mk(base+120, 99, true))
 	}
-	rules, err := New().Learn(events, learner.Params{WindowSec: 300})
+	rules, err := New().Learn(learner.Prepare(events), learner.Params{WindowSec: 300})
 	if err != nil {
 		t.Fatal(err)
 	}

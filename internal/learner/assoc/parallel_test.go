@@ -1,0 +1,94 @@
+package assoc
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/learner"
+	"repro/internal/stats"
+)
+
+// synthSets builds n synthetic transactions with planted co-occurrence
+// structure plus noise — enough volume to split across several counting
+// shards (minSetsPerWorker apart).
+func synthSets(seed uint64, n int) []learner.EventSet {
+	r := stats.NewRNG(seed)
+	sets := make([]learner.EventSet, 0, n)
+	for i := 0; i < n; i++ {
+		var items []int
+		// Planted pattern: {1,2} precedes target 99 in a third of sets.
+		if i%3 == 0 {
+			items = append(items, 1, 2)
+		}
+		if i%5 == 0 {
+			items = append(items, 3, 4, 5)
+		}
+		for j := r.Intn(6); j > 0; j-- {
+			items = append(items, 10+r.Intn(25))
+		}
+		if len(items) == 0 {
+			items = append(items, 10+r.Intn(25))
+		}
+		target := 99
+		if i%4 == 0 {
+			target = 98
+		}
+		sets = append(sets, learner.EventSet{
+			Items:  learner.NormalizeBody(items),
+			Target: target,
+		})
+	}
+	return sets
+}
+
+// TestMineParallelMatchesSerial pins sharded Apriori counting to the
+// serial scan: identical rules, in identical order, at any parallelism.
+func TestMineParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{2, 31} {
+		sets := synthSets(seed, 3000)
+		serial := New()
+		serial.Parallelism = 1
+		want, err := serial.Mine(sets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			t.Fatal("degenerate comparison — serial mining found nothing")
+		}
+		for _, workers := range []int{0, 2, 5} {
+			l := New()
+			l.Parallelism = workers
+			got, err := l.Mine(sets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d parallelism %d: %d rules vs %d, or order diverged",
+					seed, workers, len(got), len(want))
+			}
+		}
+	}
+}
+
+// BenchmarkMine measures the Apriori hot path with allocation reporting
+// (run with -benchmem): the dense frequent-item counting and association-
+// list target counters are the satellite allocation work of this PR.
+func BenchmarkMine(b *testing.B) {
+	sets := synthSets(8, 5000)
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			l := New()
+			l.Parallelism = tc.workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Mine(sets); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

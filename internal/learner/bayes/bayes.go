@@ -53,7 +53,8 @@ func (l *Learner) Name() string { return "bayes" }
 // counting for every non-fatal class how many of its occurrences are
 // followed by a fatal event within the window versus not, then emits an
 // indicator rule per class whose likelihood ratio clears the threshold.
-func (l *Learner) Learn(events []preprocess.TaggedEvent, p learner.Params) ([]learner.Rule, error) {
+func (l *Learner) Learn(tr *learner.Prepared, p learner.Params) ([]learner.Rule, error) {
+	events := tr.Events
 	window := p.Window()
 
 	// nextFatalAfter[i]: timestamp of the first fatal strictly after

@@ -32,7 +32,7 @@ func indicatorStream() []preprocess.TaggedEvent {
 }
 
 func TestLearnFindsIndicator(t *testing.T) {
-	rules, err := New().Learn(indicatorStream(), p300)
+	rules, err := New().Learn(learner.Prepare(indicatorStream()), p300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,17 +69,17 @@ func TestLearnFindsIndicator(t *testing.T) {
 
 func TestLearnEmptyAndDegenerate(t *testing.T) {
 	l := New()
-	rules, err := l.Learn(nil, p300)
+	rules, err := l.Learn(learner.Prepare(nil), p300)
 	if err != nil || rules != nil {
 		t.Errorf("empty stream: %v %v", rules, err)
 	}
 	// Only fatals: no non-fatal occurrences at all.
-	rules, err = l.Learn([]preprocess.TaggedEvent{mk(0, 99, true), mk(10, 98, true)}, p300)
+	rules, err = l.Learn(learner.Prepare([]preprocess.TaggedEvent{mk(0, 99, true), mk(10, 98, true)}), p300)
 	if err != nil || rules != nil {
 		t.Errorf("fatal-only stream: %v %v", rules, err)
 	}
 	// Only non-fatals: no positives.
-	rules, err = l.Learn([]preprocess.TaggedEvent{mk(0, 1, false), mk(10, 2, false)}, p300)
+	rules, err = l.Learn(learner.Prepare([]preprocess.TaggedEvent{mk(0, 1, false), mk(10, 2, false)}), p300)
 	if err != nil || rules != nil {
 		t.Errorf("no-fatal stream: %v %v", rules, err)
 	}
@@ -97,7 +97,7 @@ func TestMinOccurrences(t *testing.T) {
 		events = append(events, mk(tm, 2, false))
 		tm += 4000
 	}
-	rules, err := New().Learn(events, p300)
+	rules, err := New().Learn(learner.Prepare(events), p300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestMaxRulesCap(t *testing.T) {
 		events = append(events, mk(tm, 5, false))
 		tm += 4000
 	}
-	rules, err := l.Learn(events, p300)
+	rules, err := l.Learn(learner.Prepare(events), p300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestMaxRulesCap(t *testing.T) {
 func TestRulesWorkInPredictor(t *testing.T) {
 	// Bayes rules are plain association rules: the predictor must fire
 	// them without modification.
-	rules, err := New().Learn(indicatorStream(), p300)
+	rules, err := New().Learn(learner.Prepare(indicatorStream()), p300)
 	if err != nil || len(rules) == 0 {
 		t.Fatalf("no rules: %v", err)
 	}
@@ -147,8 +147,8 @@ func TestRulesWorkInPredictor(t *testing.T) {
 }
 
 func TestDeterministicOrder(t *testing.T) {
-	a, _ := New().Learn(indicatorStream(), p300)
-	b, _ := New().Learn(indicatorStream(), p300)
+	a, _ := New().Learn(learner.Prepare(indicatorStream()), p300)
+	b, _ := New().Learn(learner.Prepare(indicatorStream()), p300)
 	if len(a) != len(b) {
 		t.Fatal("nondeterministic rule count")
 	}

@@ -8,6 +8,7 @@ import "repro/internal/preprocess"
 type EventSet struct {
 	Items  []int // sorted distinct non-fatal class IDs
 	Target int   // the fatal class the items preceded
+	Time   int64 // timestamp (ms) of the fatal event the set precedes
 }
 
 // BuildEventSets scans a time-sorted tagged stream and emits one EventSet
@@ -15,9 +16,16 @@ type EventSet struct {
 // window. maxItems caps the itemset size (0 = unlimited); when exceeded,
 // the most recent classes are kept.
 func BuildEventSets(events []preprocess.TaggedEvent, p Params, maxItems int) []EventSet {
-	window := p.Window()
+	return buildEventSetsRange(events, 0, 0, len(events), p.Window(), maxItems)
+}
+
+// buildEventSetsRange emits the event sets of the fatal events with index
+// in [fatalLo, fatalHi), with the precursor lookback truncated at index lo
+// — the generalized core of BuildEventSets, reused by EventSetCache to
+// rebuild only window-boundary and freshly-arrived segments.
+func buildEventSetsRange(events []preprocess.TaggedEvent, lo, fatalLo, fatalHi int, windowMs int64, maxItems int) []EventSet {
 	var sets []EventSet
-	for i := range events {
+	for i := fatalLo; i < fatalHi; i++ {
 		if !events[i].Fatal {
 			continue
 		}
@@ -26,8 +34,8 @@ func BuildEventSets(events []preprocess.TaggedEvent, p Params, maxItems int) []E
 		var items []int
 		// Walk backwards over the window, collecting the most recent
 		// distinct non-fatal classes first.
-		for j := i - 1; j >= 0; j-- {
-			if t-events[j].Time > window {
+		for j := i - 1; j >= lo; j-- {
+			if t-events[j].Time > windowMs {
 				break
 			}
 			if events[j].Fatal || seen[events[j].Class] {
@@ -45,6 +53,7 @@ func BuildEventSets(events []preprocess.TaggedEvent, p Params, maxItems int) []E
 		sets = append(sets, EventSet{
 			Items:  NormalizeBody(items),
 			Target: events[i].Class,
+			Time:   t,
 		})
 	}
 	return sets

@@ -1,0 +1,174 @@
+package learner
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/preprocess"
+)
+
+// Workers resolves a parallelism knob to a worker count: values above one
+// are taken literally, one forces the serial path, and zero (the default
+// everywhere) means runtime.GOMAXPROCS(0). Negative values are treated as
+// zero.
+func Workers(n int) int {
+	if n == 1 {
+		return 1
+	}
+	if n > 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Prepared is the shared training view handed to every base learner: the
+// time-sorted tagged stream plus lazily-built, cached derivations of it
+// (event sets, fatal timestamps, fatal inter-arrival gaps). One Prepared
+// per training pass means the expensive BuildEventSets scan happens once
+// even when several learners (or several Apriori configurations) ask for
+// it, and the meta-learner can run its base learners concurrently — all
+// accessors are safe for concurrent use.
+type Prepared struct {
+	// Events is the raw training stream; read-only.
+	Events []preprocess.TaggedEvent
+
+	// SetsFor, when non-nil, overrides the batch event-set builder — the
+	// engine installs an incremental cross-retraining cache here. It must
+	// return exactly what BuildEventSets(Events, p, maxItems) would.
+	SetsFor func(windowMs int64, maxItems int) []EventSet
+
+	mu      sync.Mutex
+	sets    map[setsKey][]EventSet
+	gaps    []float64
+	gapsOK  bool
+	times   []int64
+	timesOK bool
+}
+
+type setsKey struct {
+	windowMs int64
+	maxItems int
+}
+
+// Prepare wraps a training stream for the learners. Install SetsFor (if
+// any) before handing the Prepared to concurrent consumers.
+func Prepare(events []preprocess.TaggedEvent) *Prepared {
+	return &Prepared{Events: events}
+}
+
+// EventSets returns the association-rule transactions for the stream,
+// building them on first use and caching per (window, maxItems). The
+// returned slice is shared: callers must not mutate it.
+func (tr *Prepared) EventSets(p Params, maxItems int) []EventSet {
+	key := setsKey{windowMs: p.Window(), maxItems: maxItems}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if sets, ok := tr.sets[key]; ok {
+		return sets
+	}
+	var sets []EventSet
+	if tr.SetsFor != nil {
+		sets = tr.SetsFor(key.windowMs, maxItems)
+	} else {
+		sets = BuildEventSets(tr.Events, p, maxItems)
+	}
+	if tr.sets == nil {
+		tr.sets = make(map[setsKey][]EventSet, 2)
+	}
+	tr.sets[key] = sets
+	return sets
+}
+
+// FatalTimes returns the fatal timestamps of the stream (cached).
+func (tr *Prepared) FatalTimes() []int64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if !tr.timesOK {
+		tr.times = FatalTimes(tr.Events)
+		tr.timesOK = true
+	}
+	return tr.times
+}
+
+// FatalGaps returns the fatal inter-arrival gaps of the stream (cached).
+// The returned slice is shared: callers must not mutate it.
+func (tr *Prepared) FatalGaps() []float64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if !tr.gapsOK {
+		tr.gaps = FatalGaps(tr.Events)
+		tr.gapsOK = true
+	}
+	return tr.gaps
+}
+
+// EventSetCache maintains BuildEventSets output incrementally across the
+// sliding training windows of a retraining sequence. Consecutive windows
+// (26 weeks sliding by 4) overlap by ~85%, and an event set depends only
+// on its fatal event's W_P-sized lookback, so almost every set of the
+// previous window is byte-identical in the next one. The cache rebuilds
+// only the boundary sets — fatals within W_P of the new window start,
+// whose lookback was truncated differently — and the newly-arrived tail.
+//
+// Results are exactly BuildEventSets(events[from:to]) by construction:
+// a retained set's lookback lies fully inside both the old and the new
+// window, so the serial builder would produce the identical set.
+type EventSetCache struct {
+	mu      sync.Mutex
+	entries map[setsKey]cacheEntry
+}
+
+type cacheEntry struct {
+	from, to int64 // the [from, to) time range the sets were built for
+	sets     []EventSet
+}
+
+// NewEventSetCache returns an empty cache.
+func NewEventSetCache() *EventSetCache {
+	return &EventSetCache{entries: make(map[setsKey]cacheEntry, 2)}
+}
+
+// Sets returns the event sets of the stream slice covering [from, to) —
+// equal to BuildEventSets over that slice — reusing the previous call's
+// sets where the window overlap allows. events must be the same
+// time-sorted stream across calls, and from must not move backwards
+// between calls (a full rebuild happens otherwise).
+func (c *EventSetCache) Sets(events []preprocess.TaggedEvent, from, to, windowMs int64, maxItems int) []EventSet {
+	idx := func(t int64) int {
+		return sort.Search(len(events), func(i int) bool { return events[i].Time >= t })
+	}
+	key := setsKey{windowMs: windowMs, maxItems: maxItems}
+	lo, hi := idx(from), idx(to)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.entries[key]
+	if !ok || from < ent.from {
+		sets := buildEventSetsRange(events, lo, lo, hi, windowMs, maxItems)
+		c.entries[key] = cacheEntry{from: from, to: to, sets: sets}
+		return sets
+	}
+
+	// headEnd is the first timestamp whose lookback cannot cross the new
+	// window start: sets at or after it are start-independent.
+	headEnd := from + windowMs
+	if headEnd > to {
+		headEnd = to
+	}
+	out := buildEventSetsRange(events, lo, lo, idx(headEnd), windowMs, maxItems)
+	for _, s := range ent.sets {
+		if s.Time >= headEnd && s.Time < to {
+			out = append(out, s)
+		}
+	}
+	tailStart := ent.to
+	if tailStart < headEnd {
+		tailStart = headEnd
+	}
+	if tailStart < to {
+		out = append(out, buildEventSetsRange(events, lo, idx(tailStart), hi, windowMs, maxItems)...)
+	}
+	c.entries[key] = cacheEntry{from: from, to: to, sets: out}
+	return out
+}

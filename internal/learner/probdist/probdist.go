@@ -50,9 +50,11 @@ func New() *Learner {
 func (l *Learner) Name() string { return "distribution" }
 
 // Learn implements learner.Learner: it produces at most one Distribution
-// rule carrying the best-fitting model and its trigger point.
-func (l *Learner) Learn(events []preprocess.TaggedEvent, p learner.Params) ([]learner.Rule, error) {
-	gaps := learner.FatalGaps(events)
+// rule carrying the best-fitting model and its trigger point. The
+// inter-arrival gaps come from the shared prepared view; the long-term
+// filter copies rather than mutates them.
+func (l *Learner) Learn(tr *learner.Prepared, p learner.Params) ([]learner.Rule, error) {
+	gaps := tr.FatalGaps()
 	if l.LongTermOnly {
 		floor := float64(l.FloorSec)
 		if floor <= 0 {

@@ -83,7 +83,7 @@ func TestLearnFromTaggedStream(t *testing.T) {
 		tm += int64(truth.Sample(r))
 		events = append(events, mk(tm, true))
 	}
-	rules, err := New().Learn(events, learner.Params{WindowSec: 300})
+	rules, err := New().Learn(learner.Prepare(events), learner.Params{WindowSec: 300})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,6 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/preprocess"
 	"repro/internal/stats"
 )
 
@@ -149,12 +148,14 @@ type Params struct {
 // Window returns the window in milliseconds (the event timestamp unit).
 func (p Params) Window() int64 { return p.WindowSec * 1000 }
 
-// Learner is one predictive method: it studies a training stream of
-// preprocessed (categorized + filtered) events and produces candidate
-// rules for the knowledge repository.
+// Learner is one predictive method: it studies a prepared training view
+// (the time-sorted stream plus shared, lazily-built derivations of it —
+// see Prepared) and produces candidate rules for the knowledge repository.
 type Learner interface {
 	// Name identifies the learner in reports ("association", ...).
 	Name() string
-	// Learn mines rules from the time-sorted training stream.
-	Learn(events []preprocess.TaggedEvent, p Params) ([]Rule, error)
+	// Learn mines rules from the prepared training view. Learn must be
+	// safe to call concurrently with the other learners of an ensemble
+	// sharing the same Prepared.
+	Learn(tr *Prepared, p Params) ([]Rule, error)
 }

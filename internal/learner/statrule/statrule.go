@@ -8,7 +8,6 @@ package statrule
 
 import (
 	"repro/internal/learner"
-	"repro/internal/preprocess"
 )
 
 // Learner mines failure-count rules over fatal events.
@@ -36,10 +35,10 @@ func (l *Learner) Name() string { return "statistical" }
 //	P(another fatal within W_P | k fatals within W_P just observed)
 //
 // over the training stream and emits a Statistical rule when the estimate
-// is both well-supported and above Threshold.
-func (l *Learner) Learn(events []preprocess.TaggedEvent, p learner.Params) ([]learner.Rule, error) {
-	times := learner.FatalTimes(events)
-	return l.MineTimes(times, p)
+// is both well-supported and above Threshold. The fatal timestamps come
+// from the shared prepared view (extracted once per training pass).
+func (l *Learner) Learn(tr *learner.Prepared, p learner.Params) ([]learner.Rule, error) {
+	return l.MineTimes(tr.FatalTimes(), p)
 }
 
 // MineTimes mines directly from fatal timestamps (ms); exposed for tests

@@ -154,7 +154,7 @@ func TestLearnExtractsFatalsOnly(t *testing.T) {
 			events[j], events[j-1] = events[j-1], events[j]
 		}
 	}
-	rules, err := New().Learn(events, p300)
+	rules, err := New().Learn(learner.Prepare(events), p300)
 	if err != nil {
 		t.Fatal(err)
 	}

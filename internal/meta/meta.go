@@ -13,6 +13,7 @@ package meta
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/learner"
@@ -38,6 +39,12 @@ type MetaLearner struct {
 	// measure its contribution (Figure 11).
 	Reviser    *reviser.Reviser
 	UseReviser bool
+	// Parallelism bounds how many base learners run concurrently: 0 means
+	// GOMAXPROCS, 1 forces the serial pass. Candidates merge in the fixed
+	// learner order either way, so the trained rule set is identical.
+	// SetParallelism propagates the knob into the components that have
+	// internal parallelism of their own.
+	Parallelism int
 }
 
 // New returns a meta-learner with every component at the paper's defaults.
@@ -56,6 +63,20 @@ func New() *MetaLearner {
 // methods are easily incorporated. Returns m for chaining.
 func (m *MetaLearner) AddBayes() *MetaLearner {
 	m.Extra = append(m.Extra, bayes.New())
+	return m
+}
+
+// SetParallelism sets the training parallelism knob on the meta-learner
+// and every component with internal parallelism (Apriori counting,
+// reviser scoring). Returns m for chaining.
+func (m *MetaLearner) SetParallelism(p int) *MetaLearner {
+	m.Parallelism = p
+	if m.Assoc != nil {
+		m.Assoc.Parallelism = p
+	}
+	if m.Reviser != nil {
+		m.Reviser.Parallelism = p
+	}
 	return m
 }
 
@@ -80,30 +101,76 @@ type TrainReport struct {
 // for a distribution fit) contribute zero rules rather than failing the
 // pass.
 func (m *MetaLearner) Train(events []preprocess.TaggedEvent, p learner.Params) (*TrainReport, error) {
+	return m.TrainPrepared(learner.Prepare(events), p)
+}
+
+// TrainPrepared is Train over a prepared training view — callers that
+// maintain derived state across retrainings (the engine's incremental
+// event-set cache) prepare the view themselves and come in here.
+//
+// The base learners run concurrently, bounded by the Parallelism knob;
+// results are collected into per-learner slots and merged in the fixed
+// learner order afterwards, so the candidate set — and the dedupe and
+// revision downstream of it — is identical to the serial pass. Error
+// semantics also match: the first non-ignorable error in learner order is
+// returned.
+func (m *MetaLearner) TrainPrepared(tr *learner.Prepared, p learner.Params) (*TrainReport, error) {
 	report := &TrainReport{
 		CandidatesByLearner: make(map[string][]learner.Rule, 3),
 		LearnerDurations:    make(map[string]time.Duration, 3),
 	}
 	baseLearners := []learner.Learner{m.Assoc, m.Stat, m.Prob}
 	baseLearners = append(baseLearners, m.Extra...)
-	for _, bl := range baseLearners {
-		start := time.Now()
-		rules, err := bl.Learn(events, p)
-		report.LearnerDurations[bl.Name()] = time.Since(start)
-		if err != nil {
+
+	type slot struct {
+		rules []learner.Rule
+		err   error
+		dur   time.Duration
+	}
+	slots := make([]slot, len(baseLearners))
+	workers := learner.Workers(m.Parallelism)
+	if workers > len(baseLearners) {
+		workers = len(baseLearners)
+	}
+	if workers <= 1 {
+		for i, bl := range baseLearners {
+			start := time.Now()
+			slots[i].rules, slots[i].err = bl.Learn(tr, p)
+			slots[i].dur = time.Since(start)
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, bl := range baseLearners {
+			wg.Add(1)
+			go func(i int, bl learner.Learner) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				start := time.Now()
+				slots[i].rules, slots[i].err = bl.Learn(tr, p)
+				slots[i].dur = time.Since(start)
+			}(i, bl)
+		}
+		wg.Wait()
+	}
+
+	for i, bl := range baseLearners {
+		report.LearnerDurations[bl.Name()] = slots[i].dur
+		if err := slots[i].err; err != nil {
 			if errors.Is(err, probdist.ErrTooFewFailures) {
 				continue
 			}
 			return nil, fmt.Errorf("meta: %s learner: %w", bl.Name(), err)
 		}
-		report.CandidatesByLearner[bl.Name()] = rules
-		report.Candidates = append(report.Candidates, rules...)
+		report.CandidatesByLearner[bl.Name()] = slots[i].rules
+		report.Candidates = append(report.Candidates, slots[i].rules...)
 	}
 	report.Candidates = dedupe(report.Candidates)
 
 	start := time.Now()
 	if m.UseReviser && m.Reviser != nil {
-		report.Kept, report.Scores = m.Reviser.Revise(report.Candidates, events, p)
+		report.Kept, report.Scores = m.Reviser.Revise(report.Candidates, tr.Events, p)
 	} else {
 		report.Kept = report.Candidates
 	}

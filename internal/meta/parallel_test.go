@@ -1,0 +1,98 @@
+package meta
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bgsim"
+	"repro/internal/learner"
+	"repro/internal/preprocess"
+)
+
+// bgStream generates and preprocesses a short simulated log, the same
+// pipeline the engine tests use.
+func bgStream(t *testing.T, seed uint64, weeks int) []preprocess.TaggedEvent {
+	t.Helper()
+	cfg := bgsim.ANL(seed).Scaled(weeks, 0.02)
+	g, err := bgsim.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, _ := preprocess.Filter{Threshold: 300}.Apply(raw)
+	z := preprocess.NewCategorizer(preprocess.NewCatalog())
+	return z.Tag(filtered)
+}
+
+// TestTrainParallelMatchesSerial pins the tentpole guarantee: the fully
+// parallel training pipeline (concurrent base learners, sharded Apriori
+// counting, partitioned reviser scoring) produces the exact rule sets and
+// scores of the serial pipeline, across simulated systems and seeds.
+func TestTrainParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{11, 42, 2008} {
+		events := bgStream(t, seed, 12)
+		serial := New().SetParallelism(1)
+		parallel := New().SetParallelism(4)
+
+		want, err := serial.Train(events, p300)
+		if err != nil {
+			t.Fatalf("seed %d: serial: %v", seed, err)
+		}
+		got, err := parallel.Train(events, p300)
+		if err != nil {
+			t.Fatalf("seed %d: parallel: %v", seed, err)
+		}
+
+		if !reflect.DeepEqual(got.CandidatesByLearner, want.CandidatesByLearner) {
+			t.Errorf("seed %d: CandidatesByLearner diverged", seed)
+		}
+		if !reflect.DeepEqual(got.Candidates, want.Candidates) {
+			t.Errorf("seed %d: Candidates diverged (%d vs %d)",
+				seed, len(got.Candidates), len(want.Candidates))
+		}
+		if !reflect.DeepEqual(got.Kept, want.Kept) {
+			t.Errorf("seed %d: Kept diverged (%d vs %d)",
+				seed, len(got.Kept), len(want.Kept))
+		}
+		if !reflect.DeepEqual(got.Scores, want.Scores) {
+			t.Errorf("seed %d: reviser scores diverged", seed)
+		}
+		if len(want.Kept) == 0 {
+			t.Errorf("seed %d: degenerate comparison — no rules survived", seed)
+		}
+	}
+}
+
+// TestTrainParallelWithBayes extends the equivalence to a four-learner
+// ensemble (the Extra slot).
+func TestTrainParallelWithBayes(t *testing.T) {
+	events := bgStream(t, 7, 12)
+	want, err := New().AddBayes().SetParallelism(1).Train(events, p300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := New().AddBayes().SetParallelism(0).Train(events, p300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Kept, want.Kept) {
+		t.Errorf("Kept diverged (%d vs %d)", len(got.Kept), len(want.Kept))
+	}
+	if !reflect.DeepEqual(got.Candidates, want.Candidates) {
+		t.Error("Candidates diverged")
+	}
+}
+
+// TestSetParallelismPropagates checks the knob reaches the components
+// with internal parallelism.
+func TestSetParallelismPropagates(t *testing.T) {
+	ml := New().SetParallelism(3)
+	if ml.Parallelism != 3 || ml.Assoc.Parallelism != 3 || ml.Reviser.Parallelism != 3 {
+		t.Errorf("parallelism = %d/%d/%d, want 3 everywhere",
+			ml.Parallelism, ml.Assoc.Parallelism, ml.Reviser.Parallelism)
+	}
+	var _ learner.Learner = ml.Assoc // interface still satisfied
+}

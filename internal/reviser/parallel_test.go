@@ -1,0 +1,99 @@
+package reviser
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/learner"
+	"repro/internal/preprocess"
+	"repro/internal/stats"
+)
+
+// denseStream builds a long mixed stream with many classes, bursts and
+// irregular fatals, so rule scoring exercises window eviction, warning
+// overlap and dedup paths.
+func denseStream(seed uint64, n int) []preprocess.TaggedEvent {
+	r := stats.NewRNG(seed)
+	var events []preprocess.TaggedEvent
+	tm := int64(0)
+	for len(events) < n {
+		tm += int64(3 + r.Intn(90))
+		switch {
+		case r.Intn(9) == 0:
+			events = append(events, mk(tm, 99, true))
+		case r.Intn(17) == 0:
+			events = append(events, mk(tm, 98, true))
+		default:
+			events = append(events, mk(tm, r.Intn(20), false))
+		}
+	}
+	return events
+}
+
+// ruleZoo builds a candidate set large enough to split across several
+// workers: association rules over varied bodies, the statistical ladder,
+// and a few distribution rules.
+func ruleZoo() []learner.Rule {
+	var rules []learner.Rule
+	for a := 0; a < 20; a++ {
+		rules = append(rules, assocRule(99, a))
+		rules = append(rules, assocRule(98, a, (a+1)%20))
+		if a%3 == 0 {
+			rules = append(rules, assocRule(learner.AnyFatal, a, (a+5)%20, (a+11)%20))
+		}
+	}
+	for k := 1; k <= 8; k++ {
+		rules = append(rules, learner.Rule{
+			Kind: learner.Statistical, Count: k, Target: learner.AnyFatal})
+	}
+	for _, gap := range []int64{60, 600, 3600} {
+		rules = append(rules, learner.Rule{
+			Kind: learner.Distribution, Target: learner.AnyFatal, ElapsedSec: gap})
+	}
+	return rules
+}
+
+// TestScoreAllNMatchesSerial pins the partitioned scorer to the serial
+// single pass, across worker counts and window sizes.
+func TestScoreAllNMatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{5, 21} {
+		events := denseStream(seed, 4000)
+		rules := ruleZoo()
+		for _, p := range []learner.Params{{WindowSec: 300}, {WindowSec: 3600}} {
+			want := ScoreAll(rules, events, p)
+			fired := 0
+			for _, o := range want {
+				fired += o.TP + o.FP
+			}
+			if fired == 0 {
+				t.Fatalf("seed %d: degenerate stream — no rule ever fired", seed)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				got := ScoreAllN(rules, events, p, workers)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("seed %d W %d workers %d: outcomes diverged",
+						seed, p.WindowSec, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestReviseParallelMatchesSerial checks the full Revise path (scores,
+// ROC, keep decisions) at both ends of the knob.
+func TestReviseParallelMatchesSerial(t *testing.T) {
+	events := denseStream(13, 4000)
+	rules := ruleZoo()
+	serial := New()
+	serial.Parallelism = 1
+	parallel := New()
+	parallel.Parallelism = 4
+	wantKept, wantScores := serial.Revise(rules, events, p300)
+	gotKept, gotScores := parallel.Revise(rules, events, p300)
+	if !reflect.DeepEqual(gotKept, wantKept) {
+		t.Errorf("kept diverged (%d vs %d)", len(gotKept), len(wantKept))
+	}
+	if !reflect.DeepEqual(gotScores, wantScores) {
+		t.Error("scores diverged")
+	}
+}

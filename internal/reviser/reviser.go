@@ -11,17 +11,26 @@
 //
 // Every candidate is scored *as if it ran alone* — exactly Algorithm 1 —
 // but all candidates are evaluated in a single pass over the stream, so
-// revision cost grows with the stream, not with (stream × rules).
+// revision cost grows with the stream, not with (stream × rules). Because
+// scoring state is per-rule, the candidate set also partitions cleanly
+// across workers: each worker replays the shared read-only stream for its
+// rule slice and writes outcomes into its own region of the result, so
+// the parallel scorecard is byte-identical to the serial one.
 package reviser
 
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/eval"
 	"repro/internal/learner"
 	"repro/internal/preprocess"
 )
+
+// minRulesPerWorker is the smallest rule partition worth a goroutine;
+// below it ScoreAllN falls back to the serial single pass.
+const minRulesPerWorker = 16
 
 // Reviser filters candidate rules by replaying them on training data.
 type Reviser struct {
@@ -36,6 +45,9 @@ type Reviser struct {
 	// isolation and pruning it would leave precursor-less failures
 	// unpredictable. Default true (see DESIGN.md for the discussion).
 	KeepDistribution bool
+	// Parallelism bounds the scoring workers: 0 means GOMAXPROCS,
+	// 1 forces the serial pass. The scorecard is identical either way.
+	Parallelism int
 }
 
 // New returns a reviser with the paper's MinROC.
@@ -54,7 +66,7 @@ type RuleScore struct {
 func (rv *Reviser) Revise(candidates []learner.Rule, events []preprocess.TaggedEvent,
 	p learner.Params) ([]learner.Rule, []RuleScore) {
 
-	outcomes := ScoreAll(candidates, events, p)
+	outcomes := ScoreAllN(candidates, events, p, learner.Workers(rv.Parallelism))
 	kept := make([]learner.Rule, 0, len(candidates))
 	scores := make([]RuleScore, 0, len(candidates))
 	for i, rule := range candidates {
@@ -77,6 +89,41 @@ func roc(o eval.Outcome) float64 {
 	return math.Sqrt(m1*m1 + m2*m2)
 }
 
+// ScoreAll scores every rule independently over a time-sorted stream in a
+// single serial pass, returning outcomes parallel to rules.
+func ScoreAll(rules []learner.Rule, events []preprocess.TaggedEvent,
+	p learner.Params) []eval.Outcome {
+	return scoreChunk(rules, events, p)
+}
+
+// ScoreAllN scores the rules with up to `workers` concurrent passes, each
+// replaying the shared read-only stream for a contiguous partition of the
+// rule set. Outcomes land at their rules' input positions, so the result
+// equals ScoreAll exactly.
+func ScoreAllN(rules []learner.Rule, events []preprocess.TaggedEvent,
+	p learner.Params, workers int) []eval.Outcome {
+
+	if max := (len(rules) + minRulesPerWorker - 1) / minRulesPerWorker; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		return scoreChunk(rules, events, p)
+	}
+	outcomes := make([]eval.Outcome, len(rules))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(rules) / workers
+		hi := (w + 1) * len(rules) / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			copy(outcomes[lo:hi], scoreChunk(rules[lo:hi], events, p))
+		}(lo, hi)
+	}
+	wg.Wait()
+	return outcomes
+}
+
 // ruleState is one rule's in-flight scoring state. Each rule carries at
 // most one open warning at a time (triggers during an open window are
 // deduplicated, matching the online predictor's counting).
@@ -89,9 +136,44 @@ type ruleState struct {
 	captured     int
 }
 
-// ScoreAll scores every rule independently over a time-sorted stream in a
-// single pass, returning outcomes parallel to rules.
-func ScoreAll(rules []learner.Rule, events []preprocess.TaggedEvent,
+// windowEvent is one entry of the shared sliding window.
+type windowEvent struct {
+	time  int64
+	class int
+}
+
+// eventRing is the shared window buffer: a growable ring, so evicting the
+// expired prefix moves an index instead of compacting the slice (the old
+// append(window[:0], window[cut:]...) was O(window) per event).
+type eventRing struct {
+	buf     []windowEvent
+	head, n int
+}
+
+func (r *eventRing) push(e windowEvent) {
+	if r.n == len(r.buf) {
+		grown := make([]windowEvent, max(16, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = e
+	r.n++
+}
+
+func (r *eventRing) front() windowEvent { return r.buf[r.head] }
+
+func (r *eventRing) popFront() {
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+}
+
+// scoreChunk is the serial single-pass scorer over one rule slice — the
+// unit of work ScoreAllN partitions. Per-rule outcomes depend only on the
+// rule and the stream, so scoring a slice in isolation yields the same
+// numbers the full serial pass would.
+func scoreChunk(rules []learner.Rule, events []preprocess.TaggedEvent,
 	p learner.Params) []eval.Outcome {
 
 	windowMs := p.Window()
@@ -108,8 +190,26 @@ func ScoreAll(rules []learner.Rule, events []preprocess.TaggedEvent,
 		states[i].openDeadline = -1
 	}
 
-	// Rule indexes by family, mirroring the predictor's dispatch.
-	eList := make(map[int][]int)
+	// maxClass bounds the dense per-class tables below: the catalog plus
+	// the unknown-event fallback keep IDs small (≈1200), so slices beat
+	// the old map lookups on the hot path.
+	maxClass := 0
+	for i := range events {
+		if events[i].Class > maxClass {
+			maxClass = events[i].Class
+		}
+	}
+	for i := range rules {
+		for _, class := range rules[i].Body {
+			if class > maxClass {
+				maxClass = class
+			}
+		}
+	}
+
+	// Rule indexes by family, mirroring the predictor's dispatch. eList
+	// maps a body class to the association rules containing it.
+	eList := make([][]int, maxClass+1)
 	var statRules, distRules []int
 	for i, r := range rules {
 		switch r.Kind {
@@ -127,13 +227,10 @@ func ScoreAll(rules []learner.Rule, events []preprocess.TaggedEvent,
 		return rules[statRules[a]].Count < rules[statRules[b]].Count
 	})
 
-	// Shared window state.
-	classCount := make(map[int]int)
-	type windowEvent struct {
-		time  int64
-		class int
-	}
-	var window []windowEvent
+	// Shared window state: dense per-class occupancy counts plus the ring
+	// of resident events.
+	classCount := make([]int32, maxClass+1)
+	var window eventRing
 	var fatalWindow []int64
 	lastFatal := int64(-1)
 	totalFatals := 0
@@ -187,18 +284,9 @@ func ScoreAll(rules []learner.Rule, events []preprocess.TaggedEvent,
 		closeExpired(now)
 
 		// Evict the shared window.
-		cut := 0
-		for cut < len(window) && now-window[cut].time > windowMs {
-			we := window[cut]
-			if n := classCount[we.class] - 1; n > 0 {
-				classCount[we.class] = n
-			} else {
-				delete(classCount, we.class)
-			}
-			cut++
-		}
-		if cut > 0 {
-			window = append(window[:0], window[cut:]...)
+		for window.n > 0 && now-window.front().time > windowMs {
+			classCount[window.front().class]--
+			window.popFront()
 		}
 		fcut := 0
 		for fcut < len(fatalWindow) && now-fatalWindow[fcut] > windowMs {
@@ -259,7 +347,7 @@ func ScoreAll(rules []learner.Rule, events []preprocess.TaggedEvent,
 		}
 
 		// Admit into the shared window.
-		window = append(window, windowEvent{time: now, class: e.Class})
+		window.push(windowEvent{time: now, class: e.Class})
 		classCount[e.Class]++
 		if e.Fatal {
 			fatalWindow = append(fatalWindow, now)

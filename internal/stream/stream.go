@@ -75,6 +75,10 @@ type Config struct {
 	RetrainEvery time.Duration
 	// Meta supplies the learners and reviser; nil means meta.New().
 	Meta *meta.MetaLearner
+	// Parallelism bounds background-training concurrency (base learners,
+	// Apriori counting, reviser scoring): 0 means GOMAXPROCS, 1 forces
+	// the serial pipeline. The trained rule set is identical either way.
+	Parallelism int
 
 	// Shards is the number of parallel temporal-filter/categorizer
 	// workers. Zero means 4.
@@ -125,6 +129,9 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.Meta == nil {
 		out.Meta = meta.New()
 	}
+	if out.Parallelism != 0 {
+		out.Meta.SetParallelism(out.Parallelism)
+	}
 	if out.Shards <= 0 {
 		out.Shards = 4
 	}
@@ -174,6 +181,9 @@ type Service struct {
 	cfg  Config
 	repo *meta.Repository
 	zer  *preprocess.Categorizer
+	// setCache carries Apriori event sets across the overlapping training
+	// snapshots of successive retrainings (see learner.EventSetCache).
+	setCache *learner.EventSetCache
 
 	pr        atomic.Pointer[predictor.Predictor]
 	lastFatal atomic.Int64
@@ -220,6 +230,7 @@ func New(cfg Config) (*Service, error) {
 		cfg:       full,
 		repo:      meta.NewRepository(),
 		zer:       preprocess.NewCategorizer(preprocess.NewCatalog()),
+		setCache:  learner.NewEventSetCache(),
 		seqCh:     make(chan raslog.Event, full.QueueLen),
 		shardChs:  make([]chan seqEvent, full.Shards),
 		collectCh: make(chan shardOut, full.QueueLen),
@@ -478,7 +489,7 @@ func (s *Service) maybeRetrain() {
 	if !due || !s.retraining.CompareAndSwap(false, true) {
 		return
 	}
-	snapshot := s.snapshotTrainingSet(at)
+	snapshot, from := s.snapshotTrainingSet(at)
 	s.mu.Lock()
 	if s.cfg.Policy == engine.Static {
 		s.nextRetrain = 1<<63 - 1 // never again
@@ -487,12 +498,13 @@ func (s *Service) maybeRetrain() {
 	}
 	s.mu.Unlock()
 	s.retrainWG.Add(1)
-	go s.retrain(at, snapshot)
+	go s.retrain(at, from, snapshot)
 }
 
 // snapshotTrainingSet copies the policy's training slice ending at the
-// stream-time boundary `at` (ms).
-func (s *Service) snapshotTrainingSet(at int64) []preprocess.TaggedEvent {
+// stream-time boundary `at` (ms), returning the slice and its window
+// start (the event-set cache needs both bounds).
+func (s *Service) snapshotTrainingSet(at int64) ([]preprocess.TaggedEvent, int64) {
 	var from int64 = -1 << 62
 	if s.cfg.Policy == engine.Sliding {
 		from = at - s.cfg.TrainWindow.Milliseconds()
@@ -505,15 +517,22 @@ func (s *Service) snapshotTrainingSet(at int64) []preprocess.TaggedEvent {
 			out = append(out, te)
 		}
 	}
-	return out
+	return out, from
 }
 
 // retrain runs one training pass off the hot path and atomically swaps
 // the refreshed predictor in. On error the previous rule set stays live.
-func (s *Service) retrain(at int64, snapshot []preprocess.TaggedEvent) RetrainRecord {
+// Event sets are reused across retrainings via setCache: the snapshot
+// slices differ call to call, but the stream content over any shared
+// [time) range is identical, which is all the cache depends on.
+func (s *Service) retrain(at, from int64, snapshot []preprocess.TaggedEvent) RetrainRecord {
 	defer s.retrainWG.Done()
 	rec := RetrainRecord{At: at}
-	rt, err := engine.TrainStep(s.cfg.Meta, s.repo, snapshot, s.cfg.Params)
+	pre := learner.Prepare(snapshot)
+	pre.SetsFor = func(windowMs int64, maxItems int) []learner.EventSet {
+		return s.setCache.Sets(snapshot, from, at, windowMs, maxItems)
+	}
+	rt, err := engine.TrainStepPrepared(s.cfg.Meta, s.repo, pre, s.cfg.Params)
 	if err != nil {
 		rec.Err = err.Error()
 	} else {
@@ -557,9 +576,9 @@ func (s *Service) TrainNow() (RetrainRecord, error) {
 		return RetrainRecord{}, errors.New("stream: retraining already in flight")
 	}
 	at := s.watermark.Load() + 1
-	snapshot := s.snapshotTrainingSet(at)
+	snapshot, from := s.snapshotTrainingSet(at)
 	s.retrainWG.Add(1)
-	rec := s.retrain(at, snapshot)
+	rec := s.retrain(at, from, snapshot)
 	if rec.Err != "" {
 		return rec, errors.New(rec.Err)
 	}

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Component benchmark snapshot: runs the training-pipeline benchmarks
+# (BenchmarkMetaTrain serial/parallel, BenchmarkReviseParallel,
+# BenchmarkMine, BenchmarkFilter, BenchmarkStreamObserve) with -benchmem
+# and writes the parsed numbers to BENCH_2.json, so performance work has
+# a committed before/after record. Wall-clock speedups depend on the
+# machine: the snapshot records GOMAXPROCS alongside every number.
+#
+# Usage: sh scripts/bench.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_2.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+BENCHTIME="${BENCHTIME:-5x}"
+
+echo "== component benchmarks (benchtime $BENCHTIME)"
+go test -run '^$' -bench 'BenchmarkMetaTrain$|BenchmarkReviseParallel$|BenchmarkFilter$|BenchmarkStreamObserve$' \
+    -benchmem -benchtime "$BENCHTIME" . | tee "$TMP"
+go test -run '^$' -bench 'BenchmarkMine$' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/learner/assoc/ | tee -a "$TMP"
+
+awk -v out="$OUT" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^goos:/ { goos = $2 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)        # strip the GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n" > out
+    else {
+        printf "{\n  \"benchmarks\": [\n" > out
+    }
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns > out
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes > out
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs > out
+    printf "}" > out
+}
+END {
+    if (!n) { print "bench.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    printf "\n  ],\n" > out
+    # Pre-parallelization numbers (same machine class, benchtime 3x),
+    # measured before the PR 2 training-pipeline work: the serial
+    # BenchmarkMetaTrain was one monolithic pass.
+    printf "  \"baseline_before_parallel_pipeline\": [\n" > out
+    printf "    {\"name\": \"BenchmarkMetaTrain\", \"ns_per_op\": 13887620, \"bytes_per_op\": 3667186, \"allocs_per_op\": 99108},\n" > out
+    printf "    {\"name\": \"BenchmarkFilter\", \"ns_per_op\": 2873123}\n" > out
+    printf "  ],\n" > out
+    printf "  \"goos\": \"%s\",\n", goos > out
+    printf "  \"cpu\": \"%s\",\n", cpu > out
+    printf "  \"gomaxprocs\": %d,\n", procs > out
+    printf "  \"benchtime\": \"%s\",\n", benchtime > out
+    printf "  \"note\": \"parallel speedup scales with cores; with gomaxprocs=1 the parallel rows measure scheduling overhead only — outputs are byte-identical either way (see the *parallel_test.go equivalence suites)\"\n}\n" > out
+}
+' procs="$(nproc 2>/dev/null || echo 1)" benchtime="$BENCHTIME" "$TMP"
+
+echo "== wrote $OUT"
