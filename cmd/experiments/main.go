@@ -1,6 +1,9 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation and writes them under an output directory: one rendered
-// text file and one CSV per experiment, plus a combined report.
+// text file and one CSV per experiment, plus a combined report and a
+// metrics.prom snapshot of the accumulated training metrics (per-learner
+// durations, reviser time, rule churn — the live Table 5) in Prometheus
+// text exposition.
 //
 // Usage:
 //
@@ -28,7 +31,9 @@ import (
 	"time"
 
 	"repro/internal/bgsim"
+	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/obsv"
 )
 
 func main() {
@@ -104,6 +109,10 @@ func run(out string, seed uint64, quick bool, weeks int, scale float64, parallel
 		return err
 	}
 	suite.Parallelism = parallelism
+	// Accumulate every training pass of the whole grid — the live Table 5
+	// — and snapshot it to metrics.prom alongside the reports.
+	metrics := obsv.NewRegistry()
+	suite.Metrics = engine.NewTrainingMetrics(metrics)
 	for _, sd := range suite.Systems {
 		fmt.Printf("  %s: %d raw events -> %d filtered, %d fatals\n",
 			sd.Cfg.Name, sd.RawCount, sd.Filtered.Len(), sd.Fatals)
@@ -142,6 +151,17 @@ func run(out string, seed uint64, quick bool, weeks int, scale float64, parallel
 			return err
 		}
 		csvf.Close()
+	}
+	promf, err := os.Create(filepath.Join(out, "metrics.prom"))
+	if err != nil {
+		return err
+	}
+	if err := metrics.WritePrometheus(promf); err != nil {
+		promf.Close()
+		return err
+	}
+	if err := promf.Close(); err != nil {
+		return err
 	}
 	fmt.Printf("wrote %d experiments to %s in %v\n",
 		len(reports), out, time.Since(start).Round(time.Second))

@@ -5,15 +5,22 @@
 //
 //	serve [-addr :8080] [-filter 300] [-window 300] [-train 26] [-retrain 4]
 //	      [-policy sliding|whole|static] [-shards 4] [-reorder 60]
-//	      [-parallelism 0]
+//	      [-parallelism 0] [-pprof]
 //
 // API:
 //
 //	POST /ingest    text-codec RAS lines (batched, one per line)
 //	GET  /warnings  recent warnings with trigger rules (?n=50)
 //	GET  /stats     ingest counts, compression, rules, retrain history
+//	GET  /metrics   the same counters plus per-stage latencies and the
+//	                live training timings, in Prometheus text exposition
 //	GET  /healthz   liveness
 //	POST /retrain   force a training pass now
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ for
+// CPU/heap/goroutine profiling of the live service. It is opt-in: the
+// profiling endpoints expose internals and cost CPU while sampling, so
+// they stay off unless asked for.
 //
 // Retraining follows *stream time* (event timestamps), so replayed or
 // time-compressed feeds retrain on their own timeline. Try it end to end:
@@ -28,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,15 +56,16 @@ func main() {
 	reorder := flag.Int64("reorder", 60, "out-of-order tolerance in stream-time seconds")
 	queue := flag.Int("queue", 1024, "per-stage queue length")
 	parallelism := flag.Int("parallelism", 0, "background-training workers (0 = GOMAXPROCS, 1 = serial)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in)")
 	flag.Parse()
 
-	if err := run(*addr, *filter, *window, *train, *retrain, *policy, *shards, *reorder, *queue, *parallelism); err != nil {
+	if err := run(*addr, *filter, *window, *train, *retrain, *policy, *shards, *reorder, *queue, *parallelism, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, filter, window int64, train, retrain float64, policy string, shards int, reorder int64, queue, parallelism int) error {
+func run(addr string, filter, window int64, train, retrain float64, policy string, shards int, reorder int64, queue, parallelism int, pprofOn bool) error {
 	const week = 7 * 24 * time.Hour
 	cfg := stream.Defaults()
 	cfg.Filter.Threshold = filter
@@ -84,14 +93,26 @@ func run(addr string, filter, window int64, train, retrain float64, policy strin
 		return err
 	}
 
-	srv := &http.Server{Addr: addr, Handler: stream.NewMux(svc)}
+	mux := stream.NewMux(svc)
+	if pprofOn {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Addr: addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "serve: listening on %s (policy %s, W_P %ds, filter %ds, retrain every %.3gw)\n",
-		addr, policy, window, filter, retrain)
+	extra := ""
+	if pprofOn {
+		extra = ", pprof on"
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (policy %s, W_P %ds, filter %ds, retrain every %.3gw%s)\n",
+		addr, policy, window, filter, retrain, extra)
 
 	select {
 	case <-ctx.Done():

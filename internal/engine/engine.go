@@ -82,13 +82,25 @@ type Config struct {
 	// The cache is exact (see learner.EventSetCache); the switch exists
 	// for equivalence testing and measurement.
 	NoEventSetReuse bool
+	// Metrics, when non-nil, records every (re)training pass — duration,
+	// per-learner time, reviser time, rule churn — into an obsv registry:
+	// the live version of Table 5. Nil disables recording.
+	Metrics *TrainingMetrics
 }
+
+// DefaultWindowSec is the paper's base prediction / rule-generation
+// window W_P (300 s, §5.2). It doubles as the alarm-spacing anchor:
+// warning deduplication stays at this base window even when a run
+// evaluates wider prediction windows (Figure 13), so the clamp in
+// newPredictor / stream.swapPredictor derives from this constant rather
+// than repeating the literal.
+const DefaultWindowSec int64 = 300
 
 // Defaults returns the paper's default configuration: dynamic retraining
 // every 4 weeks on a sliding six-month window, W_P = 300 s.
 func Defaults() Config {
 	return Config{
-		Params:            learner.Params{WindowSec: 300},
+		Params:            learner.Params{WindowSec: DefaultWindowSec},
 		Policy:            Sliding,
 		InitialTrainWeeks: 26,
 		TrainWeeks:        26,
@@ -246,10 +258,12 @@ func Run(events []preprocess.TaggedEvent, start int64, weeks int, cfg Config) (*
 		}
 		rt, err := TrainStepPrepared(ml, repo, pre, params)
 		if err != nil {
+			cfg.Metrics.RecordError()
 			return err
 		}
 		rt.Week = effectiveWeek
 		rt.Total = time.Since(t0) // include the tuner's share
+		cfg.Metrics.Record(rt)
 		res.Retrainings = append(res.Retrainings, rt)
 		return nil
 	}
@@ -309,11 +323,20 @@ func newPredictor(repo *meta.Repository, cfg Config, params learner.Params) *pre
 	pr := predictor.New(rules, params)
 	// The full ensemble counts overlapping alarms as one prediction;
 	// a single isolated family keeps its own window. Alarm spacing stays
-	// at the base 300 s window even when evaluating wider prediction
-	// windows (see predictor.DedupWindowSec).
+	// at the base window even when evaluating wider prediction windows
+	// (see predictor.DedupWindowSec).
 	pr.GlobalDedup = cfg.KindFilter == nil
-	if params.WindowSec > 300 {
-		pr.DedupWindowSec = 300
-	}
+	ClampDedup(pr, params.WindowSec)
 	return pr
+}
+
+// ClampDedup pins a predictor's alarm spacing to the base rule-generation
+// window when the effective prediction window is wider: sweeping W_P must
+// admit more alarms, not ration them (Figure 13). Shared with the
+// streaming service's predictor swap so both deployment modes space
+// alarms identically.
+func ClampDedup(pr *predictor.Predictor, windowSec int64) {
+	if windowSec > DefaultWindowSec {
+		pr.DedupWindowSec = DefaultWindowSec
+	}
 }

@@ -1,10 +1,14 @@
 package engine
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 
 	"repro/internal/bgsim"
 	"repro/internal/learner"
+	"repro/internal/meta"
+	"repro/internal/obsv"
 	"repro/internal/preprocess"
 )
 
@@ -207,5 +211,90 @@ func TestRunDeterministic(t *testing.T) {
 		if a.Warnings[i] != b.Warnings[i] {
 			t.Fatalf("warning %d differs", i)
 		}
+	}
+}
+
+// TestNewPredictorClampsAlarmSpacing pins the alarm-spacing rule: the
+// predictor's warning deduplication stays at the base rule-generation
+// window (DefaultWindowSec) even when the effective prediction window is
+// wider — sweeping W_P (Figure 13) must admit more alarms, never ration
+// them to one per W_P.
+func TestNewPredictorClampsAlarmSpacing(t *testing.T) {
+	repo := meta.NewRepository()
+	cfg := Defaults()
+	for _, tc := range []struct{ win, want int64 }{
+		{DefaultWindowSec, 0}, // base window: predictor default spacing
+		{900, DefaultWindowSec},
+		{7200, DefaultWindowSec},
+	} {
+		pr := newPredictor(repo, cfg, learner.Params{WindowSec: tc.win})
+		if pr.DedupWindowSec != tc.want {
+			t.Errorf("WindowSec %d: DedupWindowSec = %d, want %d",
+				tc.win, pr.DedupWindowSec, tc.want)
+		}
+	}
+}
+
+// TestTrainingMetricsRecorded runs the engine with a metrics recorder
+// attached and checks the registry against the returned retraining
+// records: pass counts, per-learner durations, and the summed rule churn
+// must agree, and the exposition must parse.
+func TestTrainingMetricsRecorded(t *testing.T) {
+	events, start := pipeline(t, 101, 20)
+	cfg := quickConfig()
+	reg := obsv.NewRegistry()
+	cfg.Metrics = NewTrainingMetrics(reg)
+	res, err := Run(events, start, 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obsv.ParseText(&buf)
+	if err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	passes := float64(len(res.Retrainings))
+	if passes == 0 {
+		t.Fatal("no retrainings to account")
+	}
+	if got := samples["train_passes_total"]; got != passes {
+		t.Errorf("train_passes_total = %v, want %v", got, passes)
+	}
+	if got := samples["train_errors_total"]; got != 0 {
+		t.Errorf("train_errors_total = %v, want 0", got)
+	}
+	if got := samples["train_duration_seconds_count"]; got != passes {
+		t.Errorf("train_duration_seconds_count = %v, want %v", got, passes)
+	}
+	for _, name := range []string{"association", "statistical", "distribution"} {
+		key := fmt.Sprintf("train_learner_duration_seconds_count{learner=%q}", name)
+		if got := samples[key]; got != passes {
+			t.Errorf("%s = %v, want %v", key, got, passes)
+		}
+	}
+	var added, removed, unchanged float64
+	for _, rt := range res.Retrainings {
+		added += float64(rt.Churn.Added)
+		unchanged += float64(rt.Churn.Unchanged)
+		removed += float64(rt.Churn.RemovedByMeta + rt.Churn.RemovedByReviser)
+	}
+	if got := samples["train_rules_added_total"]; got != added {
+		t.Errorf("train_rules_added_total = %v, want %v", got, added)
+	}
+	if got := samples["train_rules_removed_total"]; got != removed {
+		t.Errorf("train_rules_removed_total = %v, want %v", got, removed)
+	}
+	if got := samples["train_rules_unchanged_total"]; got != unchanged {
+		t.Errorf("train_rules_unchanged_total = %v, want %v", got, unchanged)
+	}
+	last := res.Retrainings[len(res.Retrainings)-1]
+	if got := samples["train_repo_rules"]; got != float64(last.RepoSize) {
+		t.Errorf("train_repo_rules = %v, want %v", got, last.RepoSize)
+	}
+	if got := samples["train_events"]; got != float64(last.TrainEvents) {
+		t.Errorf("train_events = %v, want %v", got, last.TrainEvents)
 	}
 }

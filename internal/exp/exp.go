@@ -81,6 +81,12 @@ type Suite struct {
 	// Each cell is an independent run over read-only system data, so the
 	// reports are identical at any setting.
 	Parallelism int
+	// Metrics, when non-nil, accumulates every engine run's training
+	// passes (per-learner durations, reviser time, rule churn) — the
+	// suite-wide live Table 5 that cmd/experiments snapshots to
+	// metrics.prom. Instruments are concurrency-safe, so parallel grid
+	// cells record into it directly.
+	Metrics *engine.TrainingMetrics
 }
 
 // NewSuite loads the given configurations (typically the ANL and SDSC
@@ -194,6 +200,7 @@ func (s *Suite) engineDefaults(sd *SystemData) engine.Config {
 	cfg := engine.Defaults()
 	cfg.Params = s.Params
 	cfg.Parallelism = s.Parallelism
+	cfg.Metrics = s.Metrics
 	if sd.Cfg.Weeks <= cfg.InitialTrainWeeks+4 {
 		cfg.InitialTrainWeeks = sd.Cfg.Weeks / 2
 		cfg.TrainWeeks = cfg.InitialTrainWeeks

@@ -1,0 +1,35 @@
+package learner
+
+import (
+	"testing"
+
+	"repro/internal/preprocess"
+	"repro/internal/raslog"
+)
+
+func taggedMs(tMs int64, class int, fatal bool) preprocess.TaggedEvent {
+	return preprocess.TaggedEvent{Event: raslog.Event{Time: tMs}, Class: class, Fatal: fatal}
+}
+
+// TestBuildEventSetsWindowBoundary pins the W_P boundary convention the
+// online predictor also follows (predictor.TestWindowBoundaryInclusive):
+// a precursor exactly W_P before the fatal is inside the window, one
+// millisecond earlier is out.
+func TestBuildEventSetsWindowBoundary(t *testing.T) {
+	p := Params{WindowSec: 300}
+	wp := p.Window()
+
+	in := []preprocess.TaggedEvent{taggedMs(0, 1, false), taggedMs(wp, 9, true)}
+	sets := BuildEventSets(in, p, 0)
+	if len(sets) != 1 {
+		t.Fatalf("precursor exactly W_P old: got %d sets, want 1", len(sets))
+	}
+	if len(sets[0].Items) != 1 || sets[0].Items[0] != 1 || sets[0].Target != 9 {
+		t.Errorf("set = %+v, want item 1 preceding target 9", sets[0])
+	}
+
+	out := []preprocess.TaggedEvent{taggedMs(0, 1, false), taggedMs(wp+1, 9, true)}
+	if sets := BuildEventSets(out, p, 0); len(sets) != 0 {
+		t.Fatalf("precursor W_P+1ms old produced a set: %+v", sets)
+	}
+}

@@ -91,9 +91,11 @@ type TrainReport struct {
 	Kept []learner.Rule
 	// Scores carries the reviser's per-rule scorecard (nil when disabled).
 	Scores []reviser.RuleScore
-	// LearnerDurations and ReviseDuration are the Table 5 timings.
+	// LearnerDurations and ReviseDuration are the Table 5 timings;
+	// TotalDuration covers the whole pass (learners + merge + revision).
 	LearnerDurations map[string]time.Duration
 	ReviseDuration   time.Duration
+	TotalDuration    time.Duration
 }
 
 // Train runs every base learner on the training stream, merges and
@@ -115,6 +117,7 @@ func (m *MetaLearner) Train(events []preprocess.TaggedEvent, p learner.Params) (
 // semantics also match: the first non-ignorable error in learner order is
 // returned.
 func (m *MetaLearner) TrainPrepared(tr *learner.Prepared, p learner.Params) (*TrainReport, error) {
+	passStart := time.Now()
 	report := &TrainReport{
 		CandidatesByLearner: make(map[string][]learner.Rule, 3),
 		LearnerDurations:    make(map[string]time.Duration, 3),
@@ -175,6 +178,7 @@ func (m *MetaLearner) TrainPrepared(tr *learner.Prepared, p learner.Params) (*Tr
 		report.Kept = report.Candidates
 	}
 	report.ReviseDuration = time.Since(start)
+	report.TotalDuration = time.Since(passStart)
 	return report, nil
 }
 

@@ -1,0 +1,106 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Prometheus text exposition content type.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (families in registration order, series in label
+// order, # HELP / # TYPE headers once per family).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+	for _, fam := range fams {
+		if fam.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam.name, escapeHelp(fam.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.name, fam.kind)
+		for _, key := range fam.order {
+			writeInstrument(bw, fam, fam.insts[key])
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves WritePrometheus over HTTP (GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func writeInstrument(w io.Writer, fam *family, inst *instrument) {
+	switch fam.kind {
+	case counterKind:
+		fmt.Fprintf(w, "%s%s %d\n", fam.name, labelString(inst.labels), inst.c.Value())
+	case gaugeKind:
+		fmt.Fprintf(w, "%s%s %s\n", fam.name, labelString(inst.labels), formatFloat(inst.g.Value()))
+	case histogramKind:
+		cum, count, sum := inst.h.snapshot()
+		for i, bound := range fam.buckets {
+			fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name,
+				labelString(append(append([]Label(nil), inst.labels...), Label{"le", formatFloat(bound)})), cum[i])
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name,
+			labelString(append(append([]Label(nil), inst.labels...), Label{"le", "+Inf"})), cum[len(cum)-1])
+		fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, labelString(inst.labels), formatFloat(sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", fam.name, labelString(inst.labels), count)
+	}
+}
+
+// labelString renders a sorted label set as {k="v",...}, or "" when empty.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}

@@ -1,0 +1,310 @@
+// Package obsv is a small, dependency-free metrics layer for the
+// framework's long-running components: counters, gauges and latency
+// histograms collected in a Registry and exposed in the Prometheus text
+// format (see expose.go). Production log-analysis systems stress that a
+// failure predictor must itself be monitorable — per-stage counters and
+// latencies are what make the predictions trustworthy at scale — so the
+// streaming service, the training pipeline and the serving daemon all
+// hang their instruments off one Registry, and the hand-rolled JSON
+// snapshots (/stats) read the very same instruments: the two views
+// cannot disagree.
+//
+// Instruments are get-or-create: asking the Registry twice for the same
+// name+labels returns the same instrument, so call sites don't need to
+// thread handles around. All instruments are safe for concurrent use.
+package obsv
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension (e.g. {Key: "stage", Value: "shard"}).
+type Label struct {
+	Key, Value string
+}
+
+// kind discriminates the instrument families.
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Registry holds a set of named metric families. The zero value is not
+// usable; create with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration order, for stable exposition
+}
+
+// family groups every labeling of one metric name.
+type family struct {
+	name, help string
+	kind       kind
+	buckets    []float64 // histogramKind only
+	insts      map[string]*instrument
+	order      []string // label-set registration order
+}
+
+// instrument is one (name, labels) time series.
+type instrument struct {
+	labels []Label // sorted by key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the monotonically-increasing counter name{labels},
+// creating it on first use. Panics on an invalid name or if the name is
+// already registered as a different instrument kind.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	inst := r.get(name, help, counterKind, nil, labels)
+	return inst.c
+}
+
+// Gauge returns the gauge name{labels}, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	inst := r.get(name, help, gaugeKind, nil, labels)
+	return inst.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time (e.g. a channel depth). Re-registering the same name+labels
+// replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	inst := r.get(name, help, gaugeKind, nil, labels)
+	inst.g.fn = fn
+}
+
+// Histogram returns the histogram name{labels} with the given upper
+// bounds (ascending, +Inf appended implicitly), creating it on first use.
+// The bucket layout is fixed by the first registration of the name.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	inst := r.get(name, help, histogramKind, buckets, labels)
+	return inst.h
+}
+
+func (r *Registry) get(name, help string, k kind, buckets []float64, labels []Label) *instrument {
+	if !validName(name) {
+		panic(fmt.Sprintf("obsv: invalid metric name %q", name))
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	for _, l := range sorted {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obsv: invalid label name %q on %q", l.Key, name))
+		}
+	}
+	key := labelString(sorted)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, kind: k, insts: make(map[string]*instrument)}
+		if k == histogramKind {
+			fam.buckets = normalizeBuckets(buckets)
+		}
+		r.families[name] = fam
+		r.order = append(r.order, name)
+	} else if fam.kind != k {
+		panic(fmt.Sprintf("obsv: %q already registered as %s, requested %s", name, fam.kind, k))
+	}
+	inst, ok := fam.insts[key]
+	if !ok {
+		inst = &instrument{labels: sorted}
+		switch k {
+		case counterKind:
+			inst.c = &Counter{}
+		case gaugeKind:
+			inst.g = &Gauge{}
+		case histogramKind:
+			inst.h = newHistogram(fam.buckets)
+		}
+		fam.insts[key] = inst
+		fam.order = append(fam.order, key)
+	}
+	return inst
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// normalizeBuckets sorts, dedupes and strips non-finite bounds (+Inf is
+// always implicit).
+func normalizeBuckets(b []float64) []float64 {
+	out := make([]float64, 0, len(b))
+	for _, v := range b {
+		if !math.IsInf(v, 0) && !math.IsNaN(v) {
+			out = append(out, v)
+		}
+	}
+	sort.Float64s(out)
+	dst := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// ExpBuckets returns n exponentially-spaced upper bounds starting at
+// start and growing by factor — the usual shape for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obsv: ExpBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Instruments.
+// ---------------------------------------------------------------------------
+
+// Counter is a monotonically-increasing event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (must be >= 0; counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obsv: counter decremented")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways. A gauge
+// registered via GaugeFunc computes its value at read time instead.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+	fn   func() float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add moves the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (calling the function for func gauges).
+func (g *Gauge) Value() float64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket latency/size distribution: per-bucket
+// counts plus a running sum and count, the exact shape Prometheus
+// histograms expose.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf implicit
+	mu     sync.Mutex
+	counts []int64 // len(bounds)+1; last is the +Inf bucket
+	count  int64
+	sum    float64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Since records the elapsed time from t0 in seconds — the usual
+// `defer h.Since(time.Now())` latency idiom.
+func (h *Histogram) Since(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns cumulative bucket counts, the total and the sum.
+func (h *Histogram) snapshot() (cum []int64, count int64, sum float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum = make([]int64, len(h.counts))
+	var acc int64
+	for i, c := range h.counts {
+		acc += c
+		cum[i] = acc
+	}
+	return cum, h.count, h.sum
+}

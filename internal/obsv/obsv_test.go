@@ -1,0 +1,168 @@
+package obsv
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total", "Events seen.")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if c2 := r.Counter("events_total", "Events seen."); c2 != c {
+		t.Error("get-or-create returned a different counter for the same name")
+	}
+
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %g, want 5", got)
+	}
+	r.GaugeFunc("live", "Computed.", func() float64 { return 42 })
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE events_total counter", "events_total 5",
+		"# TYPE depth gauge", "depth 5", "live 42",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestCounterPanicsOnDecrement(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c", "").Add(-1)
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestLabelsSortedAndEscaped(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "Hits.", Label{"zeta", "z"}, Label{"alpha", `a"b\c`})
+	c.Inc()
+	// The same labels in a different order address the same series.
+	r.Counter("hits_total", "Hits.", Label{"alpha", `a"b\c`}, Label{"zeta", "z"}).Inc()
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `hits_total{alpha="a\"b\\c",zeta="z"} 2`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, buf.String())
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Stage latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.565) > 1e-9 {
+		t.Errorf("sum = %g, want 5.565", h.Sum())
+	}
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// le is inclusive: the 0.01 observation lands in the 0.01 bucket.
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.01"} 2`,
+		`latency_seconds_bucket{le="0.1"} 3`,
+		`latency_seconds_bucket{le="1"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	samples, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	if samples[`latency_seconds_bucket{le="+Inf"}`] != float64(samples["latency_seconds_count"]) {
+		t.Error("+Inf bucket != count")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 10, 4)
+	want := []float64{1e-6, 1e-5, 1e-4, 1e-3}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-18 {
+			t.Errorf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_type_header 3\n",
+		"# TYPE m counter\nm not-a-number\n",
+		"# TYPE m wat\nm 1\n",
+		"# TYPE m counter\nm 1\nm 1\n", // duplicate series
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText accepted %q", bad)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c", "").Inc()
+				r.Gauge("g", "").Add(1)
+				r.Histogram("h", "", []float64{1, 10}).Observe(float64(j % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c", "").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g", "").Value(); got != 8000 {
+		t.Errorf("gauge = %g, want 8000", got)
+	}
+	if got := r.Histogram("h", "", nil).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,102 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText reads a Prometheus text exposition and returns every sample
+// keyed by its full series name ("name" or `name{k="v",...}` exactly as
+// rendered). It validates the grammar strictly enough to catch malformed
+// output — unknown line shapes, samples without a preceding # TYPE,
+// unparsable values — which is what the exposition tests (and the
+// /stats-vs-/metrics consistency tests) lean on.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	typed := make(map[string]bool) // family names with a # TYPE line
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("obsv: line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				typed[fields[2]] = true
+			}
+			continue
+		}
+		series, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obsv: line %d: %w", lineNo, err)
+		}
+		base := series
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		famName := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(base, "_bucket"), "_sum"), "_count")
+		if !typed[base] && !typed[famName] {
+			return nil, fmt.Errorf("obsv: line %d: sample %q without a # TYPE header", lineNo, series)
+		}
+		if _, dup := out[series]; dup {
+			return nil, fmt.Errorf("obsv: line %d: duplicate series %q", lineNo, series)
+		}
+		out[series] = value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSample splits `name{labels} value` into series and value.
+func parseSample(line string) (string, float64, error) {
+	var name, rest string
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		name, rest = line[:j+1], strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", 0, fmt.Errorf("want `name value`, got %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	base := name
+	if i := strings.IndexByte(base, '{'); i >= 0 {
+		base = base[:i]
+	}
+	if !validName(base) {
+		return "", 0, fmt.Errorf("invalid metric name %q", base)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	return name, v, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}

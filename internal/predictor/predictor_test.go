@@ -229,3 +229,38 @@ func TestRulesAccessor(t *testing.T) {
 		t.Error("predictor shares caller's slice")
 	}
 }
+
+// TestWindowBoundaryInclusive pins the W_P boundary convention shared
+// with the batch learners (learner.BuildEventSets, statrule mining): an
+// event exactly W_P old is still inside the window; one millisecond
+// older is out. Both deployment modes count the same way.
+func TestWindowBoundaryInclusive(t *testing.T) {
+	mkMs := func(tMs int64, class int, fatal bool) preprocess.TaggedEvent {
+		return preprocess.TaggedEvent{Event: raslog.Event{Time: tMs}, Class: class, Fatal: fatal}
+	}
+	const wp = 300_000 // W_P in ms for p300
+
+	pr := New([]learner.Rule{assocRule(99, 1, 2)}, p300)
+	pr.Observe(mkMs(0, 1, false))
+	if w := pr.Observe(mkMs(wp, 2, false)); len(w) != 1 {
+		t.Error("body item exactly W_P old did not complete the association rule")
+	}
+	pr = New([]learner.Rule{assocRule(99, 1, 2)}, p300)
+	pr.Observe(mkMs(0, 1, false))
+	if w := pr.Observe(mkMs(wp+1, 2, false)); len(w) != 0 {
+		t.Error("body item W_P+1ms old completed the association rule")
+	}
+
+	// The same convention governs the statistical k-run window.
+	kRun := learner.Rule{Kind: learner.Statistical, Count: 2, Target: learner.AnyFatal}
+	pr = New([]learner.Rule{kRun}, p300)
+	pr.Observe(mkMs(0, 90, true))
+	if w := pr.Observe(mkMs(wp, 90, true)); len(w) != 1 {
+		t.Error("fatal exactly W_P old fell out of the k-run")
+	}
+	pr = New([]learner.Rule{kRun}, p300)
+	pr.Observe(mkMs(0, 90, true))
+	if w := pr.Observe(mkMs(wp+1, 90, true)); len(w) != 0 {
+		t.Error("fatal W_P+1ms old still counted toward the k-run")
+	}
+}

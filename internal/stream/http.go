@@ -1,7 +1,9 @@
 package stream
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -15,6 +17,7 @@ import (
 //	POST /ingest    text-codec RAS lines (batched, one per line)
 //	GET  /warnings  recent warnings with their trigger rules (?n=50)
 //	GET  /stats     counters, compression, rule counts, retrain history
+//	GET  /metrics   the same counters in Prometheus text exposition
 //	GET  /healthz   liveness
 //	POST /retrain   force a synchronous training pass
 func NewMux(s *Service) *http.ServeMux {
@@ -22,14 +25,19 @@ func NewMux(s *Service) *http.ServeMux {
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /warnings", s.handleWarnings)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", s.Metrics().Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /retrain", s.handleRetrain)
 	return mux
 }
 
-// ingestResponse reports one POST /ingest batch.
+// ingestResponse reports one POST /ingest batch. On error, Line is the
+// 1-based input line the batch failed at: every line before it was
+// accepted, so a client can resume the batch from Line (decode errors)
+// or retry from Line (backpressure timeouts, shutdown).
 type ingestResponse struct {
 	Accepted int    `json:"accepted"`
+	Line     int    `json:"line,omitempty"`
 	Error    string `json:"error,omitempty"`
 }
 
@@ -39,18 +47,29 @@ const maxIngestBody = 64 << 20
 func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
 	resp := ingestResponse{}
-	err := raslog.ScanLog(body, func(e raslog.Event) error {
-		if err := s.Ingest(r.Context(), e); err != nil {
-			return err
+	sc := raslog.NewScanner(body)
+	var err error
+	for sc.Scan() {
+		if ierr := s.Ingest(r.Context(), sc.Event()); ierr != nil {
+			err = fmt.Errorf("ingest line %d: %w", sc.Line(), ierr)
+			break
 		}
 		resp.Accepted++
-		return nil
-	})
+	}
+	if err == nil {
+		err = sc.Err()
+	}
 	status := http.StatusOK
 	if err != nil {
 		resp.Error = err.Error()
+		resp.Line = sc.Line()
+		// Malformed input is the client's fault (400); a closed service
+		// or a request that ran out of time against backpressure is not —
+		// the batch is retryable (503). Ingest errors may arrive wrapped,
+		// so compare with errors.Is, never ==.
 		status = http.StatusBadRequest
-		if err == ErrClosed {
+		if errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) {
 			status = http.StatusServiceUnavailable
 		}
 	}

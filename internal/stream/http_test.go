@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -78,22 +79,7 @@ func TestHTTPIngestStatsWarnings(t *testing.T) {
 	// The pipeline is asynchronous; wait until it settles (counters
 	// stable and no retrain in flight — the reorder buffer legitimately
 	// withholds the last ReorderWindow of stream time until Close).
-	deadline := time.Now().Add(30 * time.Second)
-	var prevSeq, prevProc int64 = -1, -1
-	stable := 0
-	for stable < 3 {
-		if time.Now().After(deadline) {
-			t.Fatal("pipeline did not settle in time")
-		}
-		st := s.Stats()
-		if st.Sequenced == prevSeq && st.Processed == prevProc && !st.Retraining {
-			stable++
-		} else {
-			stable = 0
-		}
-		prevSeq, prevProc = st.Sequenced, st.Processed
-		time.Sleep(50 * time.Millisecond)
-	}
+	settle(t, s)
 
 	var st Stats
 	getJSON(t, srv.URL+"/stats", &st)
@@ -133,6 +119,88 @@ func TestHTTPIngestBadLine(t *testing.T) {
 	}
 	if out.Accepted != 1 || out.Error == "" {
 		t.Fatalf("response = %+v; want 1 accepted and an error", out)
+	}
+	// The response names the failing input line so the client can resume
+	// the batch from there.
+	if out.Line != 2 {
+		t.Errorf("response line = %d, want 2 (the garbage line)", out.Line)
+	}
+	if !strings.Contains(out.Error, "line 2") {
+		t.Errorf("error %q does not name line 2", out.Error)
+	}
+}
+
+// TestHTTPIngestClosedService pins the error mapping for a closed
+// service: the batch is retryable elsewhere, so the status is 503, not a
+// client-blaming 400 — and the check must survive error wrapping
+// (errors.Is, never ==).
+func TestHTTPIngestClosedService(t *testing.T) {
+	s, srv := newTestServer(t, Defaults())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/ingest", "text/plain",
+		strings.NewReader("1|RAS|10|0|L|KERNEL|INFO|ok\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 for a closed service", resp.StatusCode)
+	}
+	var out ingestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted != 0 || out.Line != 1 {
+		t.Errorf("response = %+v; want 0 accepted, failed at line 1", out)
+	}
+}
+
+// TestHTTPIngestBackpressureTimeout pins the other retryable case: a
+// request whose context expires against a saturated pipeline gets a 503
+// and the line to retry from, not a 400.
+func TestHTTPIngestBackpressureTimeout(t *testing.T) {
+	cfg := Defaults()
+	cfg.InitialTrain = 10000 * week
+	cfg.Shards = 1
+	cfg.QueueLen = 1
+	cfg.ReorderLimit = 1 // force the sequencer to emit immediately
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wedge the collector: every collected event takes s.mu for the
+	// retrain check, so holding it stalls the pipeline end to end and
+	// Ingest soon blocks on backpressure.
+	s.mu.Lock()
+	evs := make([]raslog.Event, 64)
+	for i := range evs {
+		evs[i] = raslog.Event{Time: int64(i+1) * 1000, Location: "L", Entry: "e",
+			Facility: raslog.Kernel, Severity: raslog.Info}
+	}
+	body := encodeLog(t, &raslog.Log{Events: evs})
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest("POST", "/ingest", bytes.NewReader(body)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	s.handleIngest(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 on backpressure timeout: %s", w.Code, w.Body)
+	}
+	var out ingestResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted == 0 || out.Accepted >= len(evs) {
+		t.Errorf("accepted %d of %d; want a partial batch", out.Accepted, len(evs))
+	}
+	if out.Line != out.Accepted+1 {
+		t.Errorf("failed at line %d with %d accepted; want line = accepted+1", out.Line, out.Accepted)
+	}
+	s.mu.Unlock()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/obsv"
+)
+
+// stageBuckets spans per-event stage work: sub-microsecond filter hits up
+// to multi-second stalls when backpressure blocks a send.
+var stageBuckets = obsv.ExpBuckets(1e-6, 4, 12)
+
+// metrics is the service's instrument set, registered on one obsv
+// registry. Stats() reads the very same instruments GET /metrics
+// exposes, so the JSON snapshot and the Prometheus view cannot disagree
+// — and the regression tests for the counting bugs assert against both.
+type metrics struct {
+	reg *obsv.Registry
+
+	// Pipeline counters, one per stage boundary.
+	ingested      *obsv.Counter // accepted by Ingest
+	sequenced     *obsv.Counter // released in order by the sequencer
+	lateDropped   *obsv.Counter // beyond the reorder tolerance
+	afterTemporal *obsv.Counter // survived the temporal filter (shards)
+	processed     *obsv.Counter // survived the spatial filter (collector)
+	fatals        *obsv.Counter
+	warningsTotal *obsv.Counter
+
+	// Gauges. Stream-time values are milliseconds; streamStart is -1
+	// until the first event, nextRetrain is -1 when no training is due
+	// ever again (static policy after its one pass).
+	reorderDepth *obsv.Gauge
+	rules        *obsv.Gauge
+	streamStart  *obsv.Gauge
+	watermark    *obsv.Gauge
+	nextRetrain  *obsv.Gauge
+
+	// Per-stage latency: one observation per event per stage, including
+	// any time blocked on the downstream channel (that is what makes
+	// backpressure visible).
+	seqLatency     *obsv.Histogram
+	shardLatency   *obsv.Histogram
+	collectLatency *obsv.Histogram
+
+	// training carries the live Table 5: per-learner durations, reviser
+	// time, retrain duration, rule churn (shared with the offline engine).
+	training *engine.TrainingMetrics
+}
+
+// newMetrics registers every instrument on a fresh registry. Called after
+// the channels exist: the queue-depth gauges read them at scrape time.
+func newMetrics(s *Service) *metrics {
+	reg := obsv.NewRegistry()
+	m := &metrics{
+		reg: reg,
+		ingested: reg.Counter("stream_ingested_total",
+			"Events accepted by Ingest."),
+		sequenced: reg.Counter("stream_sequenced_total",
+			"Events released in time order by the sequencer."),
+		lateDropped: reg.Counter("stream_late_dropped_total",
+			"Events dropped for arriving beyond the reorder tolerance."),
+		afterTemporal: reg.Counter("stream_after_temporal_total",
+			"Events surviving the temporal filter (shard stage)."),
+		processed: reg.Counter("stream_processed_total",
+			"Events surviving the spatial filter and fed to the predictor."),
+		fatals: reg.Counter("stream_fatals_total",
+			"Fatal events observed after filtering."),
+		warningsTotal: reg.Counter("stream_warnings_total",
+			"Failure warnings emitted by the live predictor."),
+		reorderDepth: reg.Gauge("stream_reorder_depth",
+			"Events currently held in the sequencer's reorder buffer."),
+		rules: reg.Gauge("stream_rules",
+			"Rules in the live predictor."),
+		streamStart: reg.Gauge("stream_start_ms",
+			"Stream-time (ms) of the first event; -1 before any event."),
+		watermark: reg.Gauge("stream_watermark_ms",
+			"Stream-time (ms) of the newest collected event."),
+		nextRetrain: reg.Gauge("stream_next_retrain_ms",
+			"Stream-time (ms) of the next scheduled training; -1 when none is due ever again."),
+		seqLatency: reg.Histogram("stream_stage_latency_seconds",
+			"Per-event wall time spent in each pipeline stage.", stageBuckets,
+			obsv.Label{Key: "stage", Value: "sequencer"}),
+	}
+	m.shardLatency = reg.Histogram("stream_stage_latency_seconds", "", stageBuckets,
+		obsv.Label{Key: "stage", Value: "shard"})
+	m.collectLatency = reg.Histogram("stream_stage_latency_seconds", "", stageBuckets,
+		obsv.Label{Key: "stage", Value: "collector"})
+
+	reg.GaugeFunc("stream_retraining",
+		"1 while a background training pass is in flight.", func() float64 {
+			if s.retraining.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("stream_compression_rate",
+		"1 - processed/sequenced: the preprocessing filter's current reduction.", func() float64 {
+			seq := m.sequenced.Value()
+			if seq == 0 {
+				return 0
+			}
+			return 1 - float64(m.processed.Value())/float64(seq)
+		})
+	reg.GaugeFunc("stream_queue_depth", "Instantaneous channel occupancy per stage.",
+		func() float64 { return float64(len(s.seqCh)) }, obsv.Label{Key: "queue", Value: "sequencer"})
+	reg.GaugeFunc("stream_queue_depth", "",
+		func() float64 { return float64(len(s.collectCh)) }, obsv.Label{Key: "queue", Value: "collector"})
+	for i := range s.shardChs {
+		ch := s.shardChs[i]
+		reg.GaugeFunc("stream_queue_depth", "",
+			func() float64 { return float64(len(ch)) },
+			obsv.Label{Key: "queue", Value: fmt.Sprintf("shard%d", i)})
+	}
+
+	m.streamStart.Set(-1)
+	m.training = engine.NewTrainingMetrics(reg)
+	return m
+}
+
+// Metrics returns the service's metric registry — the backing store of
+// both Stats() and GET /metrics. Useful for mounting the exposition
+// handler elsewhere or registering extra gauges alongside the service's.
+func (s *Service) Metrics() *obsv.Registry { return s.m.reg }

@@ -5,30 +5,30 @@
 //
 // Events flow through a concurrent pipeline:
 //
-//	Ingest ─→ sequencer ─→ per-location shards ─→ collector ─→ predictor
-//	           (reorder       (temporal filter       (seq-ordered merge,
-//	            buffer,        + categorizer,         spatial filter,
-//	            late drop)     parallel)              observe, retrain)
+//		Ingest ─→ sequencer ─→ per-location shards ─→ collector ─→ predictor
+//		           (reorder       (temporal filter       (seq-ordered merge,
+//		            buffer,        + categorizer,         spatial filter,
+//		            late drop)     parallel)              observe, retrain)
 //
-//   - The sequencer tolerates out-of-order arrivals with a bounded
-//     reorder buffer keyed on timestamp: events are released once the
-//     high-water mark has advanced past them by ReorderWindow (or the
-//     buffer overflows its limit). Events older than the release point
-//     are counted and dropped, preserving the sorted-stream invariant
-//     every downstream stage requires.
-//   - Shards run the streaming temporal filter (state is keyed by
-//     location, and a location is pinned to one shard) and the
-//     categorizer in parallel. Every event is forwarded — kept or not —
-//     carrying its sequence number, so the collector can restore the
-//     exact global order.
-//   - The single collector goroutine reassembles sequence order, applies
-//     the (globally-stateful) spatial filter, feeds the predictor, and
-//     accumulates history for retraining. Equivalence with the batch
-//     preprocessor on in-order input is pinned by TestPipelineMatchesBatch.
-//   - Retraining runs in the background on a snapshot of the history
-//     window (policies Static / Sliding / Whole, as in the engine) and
-//     swaps the refreshed predictor in via atomic.Pointer — the hot
-//     observe path takes no lock and never waits on a retrain.
+//	  - The sequencer tolerates out-of-order arrivals with a bounded
+//	    reorder buffer keyed on timestamp: events are released once the
+//	    high-water mark has advanced past them by ReorderWindow (or the
+//	    buffer overflows its limit). Events older than the release point
+//	    are counted and dropped, preserving the sorted-stream invariant
+//	    every downstream stage requires.
+//	  - Shards run the streaming temporal filter (state is keyed by
+//	    location, and a location is pinned to one shard) and the
+//	    categorizer in parallel. Every event is forwarded — kept or not —
+//	    carrying its sequence number, so the collector can restore the
+//	    exact global order.
+//	  - The single collector goroutine reassembles sequence order, applies
+//	    the (globally-stateful) spatial filter, feeds the predictor, and
+//	    accumulates history for retraining. Equivalence with the batch
+//	    preprocessor on in-order input is pinned by TestPipelineMatchesBatch.
+//	  - Retraining runs in the background on a snapshot of the history
+//	    window (policies Static / Sliding / Whole, as in the engine) and
+//	    swaps the refreshed predictor in via atomic.Pointer — the hot
+//	    observe path takes no lock and never waits on a retrain.
 //
 // All queues are bounded; a full pipeline exerts backpressure on Ingest
 // rather than buffering without limit. Close drains everything in order.
@@ -187,7 +187,6 @@ type Service struct {
 
 	pr        atomic.Pointer[predictor.Predictor]
 	lastFatal atomic.Int64
-	ruleCount atomic.Int64
 
 	seqCh     chan raslog.Event
 	shardChs  []chan seqEvent
@@ -200,24 +199,24 @@ type Service struct {
 	retraining atomic.Bool
 	retrainWG  sync.WaitGroup
 
-	// Counters (see Stats for meaning).
-	ingested      atomic.Int64
-	lateDropped   atomic.Int64
-	sequenced     atomic.Int64
-	afterTemporal atomic.Int64
-	processed     atomic.Int64
-	fatals        atomic.Int64
-	warningsTotal atomic.Int64
-	reorderDepth  atomic.Int64
-	streamStart   atomic.Int64 // ms; -1 until the first event
-	watermark     atomic.Int64 // ms of the newest collected event
+	// m holds every counter, gauge and histogram (see metrics.go).
+	// Stats() and GET /metrics are two views over these instruments.
+	// The next-retrain gauge is special: its transitions are compound
+	// (read-check-advance) and therefore guarded by mu.
+	m *metrics
 
-	mu          sync.Mutex
-	history     []preprocess.TaggedEvent
-	warnings    []predictor.Warning // ring of the last WarningsKeep
-	retrains    []RetrainRecord
-	nextRetrain int64 // ms; stream-time of the next due training
+	mu       sync.Mutex
+	history  []preprocess.TaggedEvent
+	warnings []predictor.Warning // ring of the last WarningsKeep
+	retrains []RetrainRecord
 }
+
+// Stream-time accessors over the metric gauges (ms). streamStart is -1
+// until the first event; nextRetrain is -1 when no training will ever be
+// due again.
+func (s *Service) streamStartMs() int64 { return int64(s.m.streamStart.Value()) }
+func (s *Service) watermarkMs() int64   { return int64(s.m.watermark.Value()) }
+func (s *Service) nextRetrainMs() int64 { return int64(s.m.nextRetrain.Value()) }
 
 // New validates cfg, starts the pipeline goroutines, and returns the
 // running service.
@@ -236,11 +235,11 @@ func New(cfg Config) (*Service, error) {
 		collectCh: make(chan shardOut, full.QueueLen),
 		done:      make(chan struct{}),
 	}
-	s.streamStart.Store(-1)
 	s.lastFatal.Store(-1)
 	for i := range s.shardChs {
 		s.shardChs[i] = make(chan seqEvent, full.QueueLen)
 	}
+	s.m = newMetrics(s) // after the channels: queue gauges read them
 
 	go s.sequencer()
 	var shardWG sync.WaitGroup
@@ -268,7 +267,7 @@ func (s *Service) Ingest(ctx context.Context, e raslog.Event) error {
 	}
 	select {
 	case s.seqCh <- e:
-		s.ingested.Add(1)
+		s.m.ingested.Inc()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -329,17 +328,18 @@ func (s *Service) sequencer() {
 
 	emit := func(e raslog.Event) {
 		if e.Time < lastEmitted {
-			s.lateDropped.Add(1)
+			s.m.lateDropped.Inc()
 			return
 		}
 		lastEmitted = e.Time
 		se := seqEvent{seq: seq, e: e}
 		seq++
-		s.sequenced.Add(1)
+		s.m.sequenced.Inc()
 		s.shardChs[shardOf(e.Location, len(s.shardChs))] <- se
 	}
 
 	for e := range s.seqCh {
+		t0 := time.Now()
 		if e.Time > maxSeen {
 			maxSeen = e.Time
 		}
@@ -348,13 +348,14 @@ func (s *Service) sequencer() {
 		for len(buf) > 0 && (len(buf) > s.cfg.ReorderLimit || buf[0].e.Time <= maxSeen-tolMs) {
 			emit(heap.Pop(&buf).(heapEntry).e)
 		}
-		s.reorderDepth.Store(int64(len(buf)))
+		s.m.reorderDepth.Set(float64(len(buf)))
+		s.m.seqLatency.Since(t0)
 	}
 	// Intake closed: flush the buffer in order.
 	for len(buf) > 0 {
 		emit(heap.Pop(&buf).(heapEntry).e)
 	}
-	s.reorderDepth.Store(0)
+	s.m.reorderDepth.Set(0)
 	for _, ch := range s.shardChs {
 		close(ch)
 	}
@@ -374,9 +375,10 @@ func (s *Service) shard(i int, wg *sync.WaitGroup) {
 	defer wg.Done()
 	temporal := preprocess.NewTemporalStage(s.cfg.Filter)
 	for se := range s.shardChs[i] {
+		t0 := time.Now()
 		out := shardOut{seq: se.seq}
 		if temporal.Observe(se.e) {
-			s.afterTemporal.Add(1)
+			s.m.afterTemporal.Inc()
 			class, fatal := s.zer.Categorize(se.e)
 			out.te = preprocess.TaggedEvent{Event: se.e, Class: class, Fatal: fatal}
 			out.kept = true
@@ -384,6 +386,7 @@ func (s *Service) shard(i int, wg *sync.WaitGroup) {
 			out.te.Event = se.e // carry the timestamp for the watermark
 		}
 		s.collectCh <- out
+		s.m.shardLatency.Since(t0)
 	}
 }
 
@@ -405,25 +408,27 @@ func (s *Service) collector() {
 			}
 			delete(pending, next)
 			next++
+			t0 := time.Now()
 			s.advance(o.te.Time)
 			if o.kept && spatial.Observe(o.te.Event) {
 				s.process(o.te)
 			}
 			s.maybeRetrain()
+			s.m.collectLatency.Since(t0)
 		}
 	}
 }
 
 // advance moves the stream clock.
 func (s *Service) advance(t int64) {
-	if s.streamStart.Load() < 0 {
-		s.streamStart.Store(t)
+	if s.streamStartMs() < 0 {
+		s.m.streamStart.Set(float64(t))
 		s.mu.Lock()
-		s.nextRetrain = t + s.cfg.InitialTrain.Milliseconds()
+		s.m.nextRetrain.Set(float64(t + s.cfg.InitialTrain.Milliseconds()))
 		s.mu.Unlock()
 	}
-	if t > s.watermark.Load() {
-		s.watermark.Store(t)
+	if t > s.watermarkMs() {
+		s.m.watermark.Set(float64(t))
 	}
 }
 
@@ -431,13 +436,13 @@ func (s *Service) advance(t int64) {
 // predictor. Runs only on the collector goroutine; the predictor pointer
 // is loaded once per event and never locked.
 func (s *Service) process(te preprocess.TaggedEvent) {
-	s.processed.Add(1)
+	s.m.processed.Inc()
 	var warns []predictor.Warning
 	if pr := s.pr.Load(); pr != nil {
 		warns = pr.Observe(te)
 	}
 	if te.Fatal {
-		s.fatals.Add(1)
+		s.m.fatals.Inc()
 		s.lastFatal.Store(te.Time)
 	}
 
@@ -445,7 +450,7 @@ func (s *Service) process(te preprocess.TaggedEvent) {
 	s.history = append(s.history, te)
 	s.trimHistoryLocked()
 	if len(warns) > 0 {
-		s.warningsTotal.Add(int64(len(warns)))
+		s.m.warningsTotal.Add(int64(len(warns)))
 		s.warnings = append(s.warnings, warns...)
 		if over := len(s.warnings) - s.cfg.WarningsKeep; over > 0 {
 			s.warnings = append(s.warnings[:0], s.warnings[over:]...)
@@ -467,7 +472,7 @@ func (s *Service) trimHistoryLocked() {
 		if len(s.history)%1024 != 0 {
 			return
 		}
-		cutoff := s.nextRetrain - s.cfg.TrainWindow.Milliseconds()
+		cutoff := s.nextRetrainMs() - s.cfg.TrainWindow.Milliseconds()
 		i := 0
 		for i < len(s.history) && s.history[i].Time < cutoff {
 			i++
@@ -481,10 +486,10 @@ func (s *Service) trimHistoryLocked() {
 // maybeRetrain starts a background training pass when the stream clock
 // crosses the next boundary and none is in flight.
 func (s *Service) maybeRetrain() {
-	wm := s.watermark.Load()
+	wm := s.watermarkMs()
 	s.mu.Lock()
-	due := s.nextRetrain > 0 && wm >= s.nextRetrain
-	at := s.nextRetrain
+	at := s.nextRetrainMs()
+	due := at > 0 && wm >= at
 	s.mu.Unlock()
 	if !due || !s.retraining.CompareAndSwap(false, true) {
 		return
@@ -492,9 +497,9 @@ func (s *Service) maybeRetrain() {
 	snapshot, from := s.snapshotTrainingSet(at)
 	s.mu.Lock()
 	if s.cfg.Policy == engine.Static {
-		s.nextRetrain = 1<<63 - 1 // never again
+		s.m.nextRetrain.Set(-1) // never again
 	} else {
-		s.nextRetrain = at + s.cfg.RetrainEvery.Milliseconds()
+		s.m.nextRetrain.Set(float64(at + s.cfg.RetrainEvery.Milliseconds()))
 	}
 	s.mu.Unlock()
 	s.retrainWG.Add(1)
@@ -535,13 +540,15 @@ func (s *Service) retrain(at, from int64, snapshot []preprocess.TaggedEvent) Ret
 	rt, err := engine.TrainStepPrepared(s.cfg.Meta, s.repo, pre, s.cfg.Params)
 	if err != nil {
 		rec.Err = err.Error()
+		s.m.training.RecordError()
 	} else {
 		rec.Retraining = rt
 		s.swapPredictor()
+		s.m.training.Record(rt)
 	}
 	s.mu.Lock()
 	s.retrains = append(s.retrains, rec)
-	if s.cfg.Policy == engine.Static {
+	if s.cfg.Policy == engine.Static && err == nil {
 		s.history = s.history[:0] // a static service never trains again
 	}
 	s.mu.Unlock()
@@ -561,25 +568,60 @@ func (s *Service) swapPredictor() {
 	rules := s.repo.Rules()
 	pr := predictor.New(rules, s.cfg.Params)
 	pr.GlobalDedup = true
+	// Alarm spacing stays at the base rule-generation window even when
+	// the service runs a wider prediction window, matching the offline
+	// engine's counting exactly.
+	engine.ClampDedup(pr, s.cfg.Params.WindowSec)
 	if lf := s.lastFatal.Load(); lf >= 0 {
 		pr.SeedLastFatal(lf)
 	}
 	s.pr.Store(pr)
-	s.ruleCount.Store(int64(len(rules)))
+	s.m.rules.Set(float64(len(rules)))
 }
+
+// ErrNoEvents is returned by TrainNow before the first event has reached
+// the collector: there is no history to train on and no stream clock to
+// schedule against.
+var ErrNoEvents = errors.New("stream: no events observed yet; nothing to train on")
 
 // TrainNow runs a synchronous training pass over the accumulated history
 // up to the current watermark and swaps the result in. It is the manual
-// override of the stream-time schedule (exposed as POST /retrain).
+// override of the stream-time schedule (exposed as POST /retrain): a
+// successful pass counts against the schedule, so the next automatic
+// training happens one full cadence later instead of re-firing on
+// near-identical data.
 func (s *Service) TrainNow() (RetrainRecord, error) {
+	if s.streamStartMs() < 0 {
+		return RetrainRecord{}, ErrNoEvents
+	}
 	if !s.retraining.CompareAndSwap(false, true) {
 		return RetrainRecord{}, errors.New("stream: retraining already in flight")
 	}
-	at := s.watermark.Load() + 1
+	at := s.watermarkMs() + 1
+	// Claim the schedule before training, exactly like maybeRetrain:
+	// retrain's trailing catch-up must not see a stale boundary and
+	// immediately re-fire the scheduled pass on the data we just used.
+	s.mu.Lock()
+	prev := s.nextRetrainMs()
+	next := prev
+	if s.cfg.Policy == engine.Static {
+		next = -1 // a static service trains once; this was it
+	} else if t := at + s.cfg.RetrainEvery.Milliseconds(); t > next {
+		next = t
+	}
+	s.m.nextRetrain.Set(float64(next))
+	s.mu.Unlock()
 	snapshot, from := s.snapshotTrainingSet(at)
 	s.retrainWG.Add(1)
 	rec := s.retrain(at, from, snapshot)
 	if rec.Err != "" {
+		// The pass failed: hand the schedule back (unless a concurrent
+		// scheduled pass moved it in the meantime).
+		s.mu.Lock()
+		if s.nextRetrainMs() == next {
+			s.m.nextRetrain.Set(float64(prev))
+		}
+		s.mu.Unlock()
 		return rec, errors.New(rec.Err)
 	}
 	return rec, nil
@@ -633,7 +675,9 @@ type Stats struct {
 	WarningsTotal   int64   `json:"warnings_total"`
 	Rules           int64   `json:"rules"`
 	Retraining      bool    `json:"retraining"`
-	// StreamStart / Watermark / NextRetrain are stream-time (ms).
+	// StreamStart / Watermark / NextRetrain are stream-time (ms);
+	// StreamStart is -1 before the first event and NextRetrain is -1 when
+	// no training will ever be due again (static policy after its pass).
 	StreamStart int64           `json:"stream_start_ms"`
 	Watermark   int64           `json:"watermark_ms"`
 	NextRetrain int64           `json:"next_retrain_ms"`
@@ -641,25 +685,27 @@ type Stats struct {
 	Retrains    []RetrainRecord `json:"retrains"`
 }
 
-// Stats snapshots the counters. Counters are read individually, so a
-// snapshot taken mid-flight may be momentarily inconsistent (e.g.
-// Processed ahead of a just-read Sequenced); each number is accurate.
+// Stats snapshots the service's instruments — the same registry GET
+// /metrics exposes, so the JSON and Prometheus views cannot disagree.
+// Instruments are read individually, so a snapshot taken mid-flight may
+// be momentarily inconsistent (e.g. Processed ahead of a just-read
+// Sequenced); each number is accurate.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Ingested:      s.ingested.Load(),
-		Sequenced:     s.sequenced.Load(),
-		LateDropped:   s.lateDropped.Load(),
-		AfterTemporal: s.afterTemporal.Load(),
-		Processed:     s.processed.Load(),
-		Fatals:        s.fatals.Load(),
-		WarningsTotal: s.warningsTotal.Load(),
-		Rules:         s.ruleCount.Load(),
+		Ingested:      s.m.ingested.Value(),
+		Sequenced:     s.m.sequenced.Value(),
+		LateDropped:   s.m.lateDropped.Value(),
+		AfterTemporal: s.m.afterTemporal.Value(),
+		Processed:     s.m.processed.Value(),
+		Fatals:        s.m.fatals.Value(),
+		WarningsTotal: s.m.warningsTotal.Value(),
+		Rules:         int64(s.m.rules.Value()),
 		Retraining:    s.retraining.Load(),
-		StreamStart:   s.streamStart.Load(),
-		Watermark:     s.watermark.Load(),
+		StreamStart:   s.streamStartMs(),
+		Watermark:     s.watermarkMs(),
 		Queues: QueueDepths{
 			Sequencer: len(s.seqCh),
-			Reorder:   int(s.reorderDepth.Load()),
+			Reorder:   int(s.m.reorderDepth.Value()),
 			Shards:    make([]int, len(s.shardChs)),
 			Collector: len(s.collectCh),
 		},
@@ -671,7 +717,7 @@ func (s *Service) Stats() Stats {
 		st.CompressionRate = 1 - float64(st.Processed)/float64(st.Sequenced)
 	}
 	s.mu.Lock()
-	st.NextRetrain = s.nextRetrain
+	st.NextRetrain = s.nextRetrainMs()
 	st.Retrains = append([]RetrainRecord(nil), s.retrains...)
 	s.mu.Unlock()
 	return st

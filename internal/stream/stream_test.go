@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -211,6 +212,134 @@ func TestIngestAfterClose(t *testing.T) {
 	}
 	if err := s.Close(); err != nil { // idempotent
 		t.Fatal(err)
+	}
+}
+
+// TestTrainNowBeforeFirstEvent pins the empty-stream guard: before any
+// event has reached the collector there is no history and no stream
+// clock, so a manual retrain must be rejected cleanly — no junk failed
+// record, no stuck in-flight flag.
+func TestTrainNowBeforeFirstEvent(t *testing.T) {
+	s, err := New(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.TrainNow(); !errors.Is(err, ErrNoEvents) {
+		t.Fatalf("TrainNow before any event = %v, want ErrNoEvents", err)
+	}
+	st := s.Stats()
+	if len(st.Retrains) != 0 {
+		t.Errorf("rejected TrainNow left %d retrain records", len(st.Retrains))
+	}
+	if st.Retraining {
+		t.Error("rejected TrainNow left the retraining flag set")
+	}
+}
+
+// TestTrainNowAdvancesSchedule pins the manual-retrain accounting: a
+// successful TrainNow counts against the stream-time schedule, so the
+// next automatic pass runs one full cadence later instead of re-firing
+// on near-identical data the moment the old boundary is crossed.
+func TestTrainNowAdvancesSchedule(t *testing.T) {
+	l := genLog(t, 5, 6)
+	cfg := Defaults()
+	cfg.InitialTrain = 7 * week // a 6-week log never reaches it on its own
+	cfg.RetrainEvery = 4 * week
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, s, l)
+	settle(t, s)
+
+	before := s.Stats()
+	rec, err := s.TrainNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.At != before.Watermark+1 {
+		t.Errorf("trained at %d, want watermark+1 = %d", rec.At, before.Watermark+1)
+	}
+	st := s.Stats()
+	want := rec.At + cfg.RetrainEvery.Milliseconds()
+	if st.NextRetrain != want {
+		t.Fatalf("NextRetrain = %d after TrainNow, want %d (at + cadence); was %d",
+			st.NextRetrain, want, before.NextRetrain)
+	}
+	if len(st.Retrains) != 1 || st.Retrains[0].At != rec.At {
+		t.Fatalf("retrain history = %+v, want exactly the manual pass at %d", st.Retrains, rec.At)
+	}
+
+	// Cross the *original* InitialTrain boundary: with the schedule
+	// advanced, no scheduled pass may fire on the data the manual pass
+	// just consumed.
+	bound := l.Start() + cfg.InitialTrain.Milliseconds()
+	ctx := context.Background()
+	mk := func(ms int64) raslog.Event {
+		return raslog.Event{Time: ms, Location: "LX", Entry: "post",
+			Facility: raslog.Kernel, Severity: raslog.Info}
+	}
+	if err := s.Ingest(ctx, mk(bound+1_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest(ctx, mk(bound+120_000)); err != nil { // pushes the first past the tolerance
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, func() bool { return s.Stats().Watermark >= bound+1_000 })
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		st := s.Stats()
+		if len(st.Retrains) > 1 || st.Retraining {
+			t.Fatalf("scheduled pass re-fired right after TrainNow: %+v", st.Retrains)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if len(st.Retrains) != 1 {
+		t.Fatalf("completed %d retrains, want only the manual one", len(st.Retrains))
+	}
+	if st.NextRetrain != want {
+		t.Errorf("NextRetrain drifted to %d, want %d", st.NextRetrain, want)
+	}
+}
+
+// TestSwapPredictorClampsAlarmSpacing pins the streaming half of the
+// alarm-spacing rule: a service running a wider prediction window than
+// the base W_P still spaces warnings at the base window, exactly like
+// the offline engine (engine.ClampDedup).
+func TestSwapPredictorClampsAlarmSpacing(t *testing.T) {
+	l := genLog(t, 5, 6)
+	for _, tc := range []struct{ windowSec, want int64 }{
+		{engine.DefaultWindowSec, 0}, // base window: predictor default spacing
+		{900, engine.DefaultWindowSec},
+	} {
+		cfg := Defaults()
+		cfg.Params.WindowSec = tc.windowSec
+		cfg.InitialTrain = 10000 * week // manual retrain only
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingestAll(t, s, l)
+		settle(t, s)
+		if _, err := s.TrainNow(); err != nil {
+			t.Fatal(err)
+		}
+		pr := s.pr.Load()
+		if pr == nil {
+			t.Fatal("no predictor installed after TrainNow")
+		}
+		if pr.DedupWindowSec != tc.want {
+			t.Errorf("WindowSec %d: DedupWindowSec = %d, want %d",
+				tc.windowSec, pr.DedupWindowSec, tc.want)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

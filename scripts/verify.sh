@@ -11,6 +11,11 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test ./..."
 go test ./...
+echo "== go test -race -count=1 ./internal/stream ./internal/predictor ./internal/obsv"
+# -count=1 defeats the test cache: the concurrency-critical packages
+# (pipeline, predictor swap, metrics registry) re-run under the race
+# detector every time, even when nothing changed.
+go test -race -count=1 ./internal/stream ./internal/predictor ./internal/obsv
 echo "== go test -race ./..."
 go test -race ./...
 echo "verify: OK"
