@@ -5,7 +5,7 @@
 //
 //	serve [-addr :8080] [-filter 300] [-window 300] [-train 26] [-retrain 4]
 //	      [-policy sliding|whole|static] [-shards 4] [-reorder 60]
-//	      [-parallelism 0] [-pprof]
+//	      [-parallelism 0] [-pprof] [-state-dir DIR]
 //
 // API:
 //
@@ -21,6 +21,12 @@
 // CPU/heap/goroutine profiling of the live service. It is opt-in: the
 // profiling endpoints expose internals and cost CPU while sampling, so
 // they stay off unless asked for.
+//
+// -state-dir makes the service durable: trained state is snapshotted to
+// the directory and every sequenced event is written to a CRC-checked
+// write-ahead log, so a crashed or killed process restarts where it left
+// off (newest valid snapshot + WAL tail replay — DESIGN.md §9). Without
+// it the service is purely in-memory, as before.
 //
 // Retraining follows *stream time* (event timestamps), so replayed or
 // time-compressed feeds retrain on their own timeline. Try it end to end:
@@ -57,15 +63,16 @@ func main() {
 	queue := flag.Int("queue", 1024, "per-stage queue length")
 	parallelism := flag.Int("parallelism", 0, "background-training workers (0 = GOMAXPROCS, 1 = serial)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in)")
+	stateDir := flag.String("state-dir", "", "directory for durable state (snapshots + WAL); empty = in-memory only")
 	flag.Parse()
 
-	if err := run(*addr, *filter, *window, *train, *retrain, *policy, *shards, *reorder, *queue, *parallelism, *pprofOn); err != nil {
+	if err := run(*addr, *filter, *window, *train, *retrain, *policy, *shards, *reorder, *queue, *parallelism, *pprofOn, *stateDir); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, filter, window int64, train, retrain float64, policy string, shards int, reorder int64, queue, parallelism int, pprofOn bool) error {
+func run(addr string, filter, window int64, train, retrain float64, policy string, shards int, reorder int64, queue, parallelism int, pprofOn bool, stateDir string) error {
 	const week = 7 * 24 * time.Hour
 	cfg := stream.Defaults()
 	cfg.Filter.Threshold = filter
@@ -77,6 +84,7 @@ func run(addr string, filter, window int64, train, retrain float64, policy strin
 	cfg.ReorderWindow = time.Duration(reorder) * time.Second
 	cfg.QueueLen = queue
 	cfg.Parallelism = parallelism
+	cfg.StateDir = stateDir
 	switch policy {
 	case "sliding":
 		cfg.Policy = engine.Sliding
@@ -91,6 +99,11 @@ func run(addr string, filter, window int64, train, retrain float64, policy strin
 	svc, err := stream.New(cfg)
 	if err != nil {
 		return err
+	}
+	if stateDir != "" {
+		rec := svc.Recovery()
+		fmt.Fprintf(os.Stderr, "serve: recovered from %s — snapshot at seq %d, %d WAL events replayed, resuming at seq %d (%d ms)\n",
+			stateDir, rec.SnapshotSeq, rec.Replayed, rec.ResumeSeq, rec.DurationMs)
 	}
 
 	mux := stream.NewMux(svc)

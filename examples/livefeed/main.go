@@ -16,7 +16,8 @@ package main
 
 import (
 	"bufio"
-	"bytes"
+	"strings"
+
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,9 +45,12 @@ func main() {
 }
 
 // Client-side mirrors of the daemon's JSON (an external client would
-// define these too).
+// define these too). Line is the 1-based input line a failed batch
+// stopped at: every line before it was accepted, so the client resumes
+// from there instead of re-sending (and double-ingesting) the batch.
 type ingestResponse struct {
 	Accepted int    `json:"accepted"`
+	Line     int    `json:"line"`
 	Error    string `json:"error,omitempty"`
 }
 
@@ -84,31 +88,20 @@ func run(addr string, seed uint64, weeks int, scale float64, batch int, pause ti
 	sc := bufio.NewScanner(pr)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	var (
-		buf     bytes.Buffer
-		lines   int
+		pending []string
 		sent    int
 		batches int
 	)
 	flush := func() error {
-		if lines == 0 {
+		if len(pending) == 0 {
 			return nil
 		}
-		resp, err := http.Post(addr+"/ingest", "text/plain", bytes.NewReader(buf.Bytes()))
+		n, err := postBatch(addr, pending)
+		sent += n
 		if err != nil {
 			return err
 		}
-		var ir ingestResponse
-		err = json.NewDecoder(resp.Body).Decode(&ir)
-		resp.Body.Close()
-		if err != nil {
-			return err
-		}
-		if ir.Error != "" {
-			return fmt.Errorf("ingest rejected: %s", ir.Error)
-		}
-		sent += ir.Accepted
-		buf.Reset()
-		lines = 0
+		pending = pending[:0]
 		batches++
 		if batches%25 == 0 {
 			if err := poll(addr, sent); err != nil {
@@ -119,10 +112,8 @@ func run(addr string, seed uint64, weeks int, scale float64, batch int, pause ti
 		return nil
 	}
 	for sc.Scan() {
-		buf.Write(sc.Bytes())
-		buf.WriteByte('\n')
-		lines++
-		if lines >= batch {
+		pending = append(pending, sc.Text())
+		if len(pending) >= batch {
 			if err := flush(); err != nil {
 				return err
 			}
@@ -137,6 +128,77 @@ func run(addr string, seed uint64, weeks int, scale float64, batch int, pause ti
 
 	fmt.Printf("feed complete: %d events sent\n", sent)
 	return finalReport(addr)
+}
+
+// Retry policy for one batch: exponential backoff starting at retryBase,
+// capped at retryMax per wait, giving up after retryCap consecutive
+// fruitless attempts. An attempt that makes progress (the daemon accepted
+// some lines before pushing back) resets the budget.
+const (
+	retryBase = 250 * time.Millisecond
+	retryMax  = 5 * time.Second
+	retryCap  = 8
+)
+
+// postBatch sends lines to POST /ingest, riding out transient failures:
+// network errors retry the remaining lines with backoff, and a 503
+// (backpressure timeout or restarting daemon) resumes from the line the
+// response says the daemon stopped at, so already-accepted events are not
+// ingested twice. A 400 means the batch itself is malformed — fatal.
+// Returns the number of events the daemon accepted.
+func postBatch(addr string, lines []string) (int, error) {
+	accepted := 0
+	failures := 0
+	delay := retryBase
+	for len(lines) > 0 {
+		if failures > 0 {
+			if failures > retryCap {
+				return accepted, fmt.Errorf("ingest: giving up after %d retries", retryCap)
+			}
+			time.Sleep(delay)
+			delay *= 2
+			if delay > retryMax {
+				delay = retryMax
+			}
+		}
+		body := strings.NewReader(strings.Join(lines, "\n") + "\n")
+		resp, err := http.Post(addr+"/ingest", "text/plain", body)
+		if err != nil {
+			// Connection-level failure: the response is lost, so re-send the
+			// remaining lines (at-least-once; the slice was not trimmed).
+			failures++
+			log.Printf("livefeed: ingest: %v (retry %d/%d in %s)", err, failures, retryCap, delay)
+			continue
+		}
+		var ir ingestResponse
+		derr := json.NewDecoder(resp.Body).Decode(&ir)
+		resp.Body.Close()
+		if derr != nil {
+			failures++
+			log.Printf("livefeed: ingest: bad response: %v (retry %d/%d in %s)", derr, failures, retryCap, delay)
+			continue
+		}
+		accepted += ir.Accepted
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return accepted, nil
+		case http.StatusServiceUnavailable:
+			// Lines before ir.Line were accepted; resume from there.
+			if ir.Line > 0 {
+				lines = lines[ir.Line-1:]
+			}
+			if ir.Accepted > 0 {
+				failures = 0
+				delay = retryBase
+			}
+			failures++
+			log.Printf("livefeed: daemon busy (%s), %d lines left (retry %d/%d in %s)",
+				ir.Error, len(lines), failures, retryCap, delay)
+		default:
+			return accepted, fmt.Errorf("ingest rejected (HTTP %d): %s", resp.StatusCode, ir.Error)
+		}
+	}
+	return accepted, nil
 }
 
 // poll prints a dashboard line mid-feed.

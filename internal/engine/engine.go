@@ -287,8 +287,13 @@ func Run(events []preprocess.TaggedEvent, start int64, weeks int, cfg Config) (*
 				return nil, err
 			}
 			lastFatal := pr.LastFatal()
+			lastWarn := pr.LastWarnTimes()
 			pr = newPredictor(repo, cfg, params)
 			pr.SeedLastFatal(lastFatal)
+			// Carry the dedup marks too: re-arming the distribution expert
+			// (SeedLastFatal) while forgetting it just fired would let it
+			// re-warn immediately after every swap.
+			pr.SeedLastWarn(lastWarn)
 			nextRetrain += cfg.RetrainWeeks
 		}
 		weekEnd := at(week + 1)

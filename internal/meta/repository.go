@@ -31,6 +31,18 @@ func (r *Repository) Rules() []learner.Rule {
 	return out
 }
 
+// Restore replaces the repository contents with rules recovered from a
+// durable snapshot, without churn accounting — the churn of the pass
+// that produced them was recorded when that pass ran. The next Update
+// therefore computes churn against the restored set, exactly as it
+// would have against the original.
+func (r *Repository) Restore(rules []learner.Rule) {
+	r.rules = make(map[string]learner.Rule, len(rules))
+	for _, rule := range rules {
+		r.rules[rule.ID()] = rule
+	}
+}
+
 // Churn reports what one retraining changed (the four curves of
 // Figure 12).
 type Churn struct {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -91,12 +92,27 @@ func parseSample(line string) (string, float64, error) {
 	return name, v, nil
 }
 
+// parseValue accepts exactly the value forms the exposition writer emits:
+// the tokens +Inf, -Inf and NaN, or plain decimal / scientific notation.
+// strconv.ParseFloat alone is far looser — hex floats, digit underscores,
+// "Infinity", case-insensitive special spellings — and quietly accepting
+// those would let a corrupted exposition parse as a plausible number.
 func parseValue(s string) (float64, error) {
 	switch s {
 	case "+Inf":
-		return strconv.ParseFloat("+Inf", 64)
+		return math.Inf(1), nil
 	case "-Inf":
-		return strconv.ParseFloat("-Inf", 64)
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+		case c == '.' || c == '+' || c == '-' || c == 'e' || c == 'E':
+		default:
+			return 0, fmt.Errorf("non-numeric value %q", s)
+		}
 	}
 	return strconv.ParseFloat(s, 64)
 }

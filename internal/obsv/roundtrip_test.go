@@ -1,0 +1,112 @@
+package obsv
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestZeroCountHistogramRoundTrip pins that a registered but never
+// observed histogram still exposes a full, parseable series set: every
+// bucket, _sum and _count present and exactly zero.
+func TestZeroCountHistogramRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("idle_seconds", "never observed", []float64{0.1, 1, 10})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, sb.String())
+	}
+	for _, series := range []string{
+		`idle_seconds_bucket{le="0.1"}`,
+		`idle_seconds_bucket{le="1"}`,
+		`idle_seconds_bucket{le="10"}`,
+		`idle_seconds_bucket{le="+Inf"}`,
+		"idle_seconds_sum",
+		"idle_seconds_count",
+	} {
+		v, ok := got[series]
+		if !ok {
+			t.Errorf("series %q missing from exposition:\n%s", series, sb.String())
+			continue
+		}
+		if v != 0 {
+			t.Errorf("%s = %v, want 0", series, v)
+		}
+	}
+}
+
+// TestNonFiniteGaugeRoundTrip pins the writer/parser agreement on the
+// three non-finite values: they must survive a text round trip, not
+// mis-parse into finite numbers or fail asymmetrically.
+func TestNonFiniteGaugeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g_posinf", "").Set(math.Inf(1))
+	r.Gauge("g_neginf", "").Set(math.Inf(-1))
+	r.Gauge("g_nan", "").Set(math.NaN())
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, sb.String())
+	}
+	if v := got["g_posinf"]; !math.IsInf(v, 1) {
+		t.Errorf("g_posinf = %v, want +Inf", v)
+	}
+	if v := got["g_neginf"]; !math.IsInf(v, -1) {
+		t.Errorf("g_neginf = %v, want -Inf", v)
+	}
+	if v, ok := got["g_nan"]; !ok || !math.IsNaN(v) {
+		t.Errorf("g_nan = %v (present=%v), want NaN", v, ok)
+	}
+}
+
+// TestParseValueStrictness pins the accepted value grammar: exactly the
+// writer's special tokens plus decimal/scientific notation. Everything
+// strconv.ParseFloat would additionally tolerate is rejected loudly.
+func TestParseValueStrictness(t *testing.T) {
+	accept := map[string]float64{
+		"0":       0,
+		"3":       3,
+		"-2.5":    -2.5,
+		"1e-9":    1e-9,
+		"6.02E23": 6.02e23,
+		"+4":      4,
+	}
+	for in, want := range accept {
+		v, err := parseValue(in)
+		if err != nil {
+			t.Errorf("parseValue(%q) rejected: %v", in, err)
+		} else if v != want {
+			t.Errorf("parseValue(%q) = %v, want %v", in, v, want)
+		}
+	}
+	reject := []string{
+		"", "0x1p3", "0X2", "Infinity", "infinity", "inf", "Inf", "+inf",
+		"nan", "nAn", "1_000", "1,5", " 1", "1 ", "--1", "1e", ".",
+	}
+	for _, in := range reject {
+		if v, err := parseValue(in); err == nil {
+			t.Errorf("parseValue(%q) = %v, want error", in, v)
+		}
+	}
+	for in, check := range map[string]func(float64) bool{
+		"+Inf": func(v float64) bool { return math.IsInf(v, 1) },
+		"-Inf": func(v float64) bool { return math.IsInf(v, -1) },
+		"NaN":  math.IsNaN,
+	} {
+		v, err := parseValue(in)
+		if err != nil {
+			t.Errorf("parseValue(%q) rejected: %v", in, err)
+		} else if !check(v) {
+			t.Errorf("parseValue(%q) = %v, wrong special value", in, v)
+		}
+	}
+}

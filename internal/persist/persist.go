@@ -1,0 +1,362 @@
+// Package persist gives the streaming service durable state using
+// nothing but the standard library: atomic snapshots of the trained
+// model plus a length-prefixed, CRC-checked write-ahead log (WAL) of
+// post-sequencer events (DESIGN.md §9).
+//
+// A state directory holds two kinds of files:
+//
+//	snap-<seq>-<gen>.snap  framed JSON snapshot taken at WAL position <seq>
+//	wal-<seq>-<gen>.log    WAL segment whose first record has sequence <seq>
+//
+// <seq> is the zero-padded hex sequence number assigned by the stream
+// sequencer; <gen> is a per-directory monotone counter that keeps names
+// unique across restarts (a recovery may open a new segment at the same
+// sequence the torn tail of the old one stopped at). Both are ordered so
+// a plain lexical directory listing is also the logical order.
+//
+// Durability model: Append buffers; the buffer reaches the OS every
+// FlushEvery records and is fsynced at snapshot, rotation and Close. A
+// snapshot is written atomically (temp file + fsync + rename + directory
+// fsync) *after* syncing the WAL, so a snapshot at position S implies the
+// WAL is durable through S and recovery = load newest valid snapshot +
+// replay the WAL tail from S. A torn or corrupt frame marks where the
+// durable records of the final segment end — exactly what a crash
+// mid-write leaves behind.
+package persist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/raslog"
+)
+
+// Options tunes a Store. The zero value is usable.
+type Options struct {
+	// RotateBytes starts a new WAL segment once the current one exceeds
+	// this size. Zero means 8 MiB.
+	RotateBytes int64
+	// FlushEvery pushes the WAL write buffer to the OS every this many
+	// records. Zero means 64; 1 makes every appended record durable
+	// against process death (fsync — durability against OS crash —
+	// happens at snapshot, rotation and Close).
+	FlushEvery int
+	// KeepSnapshots bounds how many snapshot files are retained: the
+	// newest plus fallbacks in case the newest is unreadable. Zero
+	// means 2.
+	KeepSnapshots int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RotateBytes <= 0 {
+		o.RotateBytes = 8 << 20
+	}
+	if o.FlushEvery <= 0 {
+		o.FlushEvery = 64
+	}
+	if o.KeepSnapshots <= 0 {
+		o.KeepSnapshots = 2
+	}
+	return o
+}
+
+// ErrClosed is returned by writes after Close.
+var ErrClosed = errors.New("persist: store closed")
+
+// Store is one state directory: the WAL appender plus the snapshot
+// reader/writer. All methods are safe for concurrent use; the intended
+// split is one appender (the stream sequencer) and one snapshotter (the
+// stream collector).
+type Store struct {
+	dir string
+	opt Options
+
+	mu        sync.Mutex
+	dead      bool // Abandon: every later call is a silent no-op
+	closed    bool
+	gen       int // monotone file-name disambiguator for this directory
+	f         *os.File
+	bw        *bufio.Writer
+	segBytes  int64
+	unflushed int
+	nextSeq   uint64
+	appending bool
+	scratch   []byte // frame encoding buffer, reused across Appends
+}
+
+// Open creates dir if needed and returns a store over it. Existing state
+// is left untouched: call LoadSnapshot / Replay to read it, then
+// StartAppend to position the WAL for new records.
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	st := &Store{dir: dir, opt: opt.withDefaults()}
+	names, err := st.listNames()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range names {
+		if _, gen, ok := parseStateName(n); ok && gen > st.gen {
+			st.gen = gen
+		}
+	}
+	return st, nil
+}
+
+// Dir returns the state directory path.
+func (st *Store) Dir() string { return st.dir }
+
+// StartAppend positions the WAL so the next Append must carry sequence
+// seq — call it once, after Replay, with the sequence Replay returned. A
+// fresh segment is created lazily on the first Append, so a restart that
+// never ingests anything leaves the directory untouched.
+func (st *Store) StartAppend(seq uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dead {
+		return nil
+	}
+	if st.closed {
+		return ErrClosed
+	}
+	st.nextSeq = seq
+	st.appending = true
+	return nil
+}
+
+// Append writes one event frame to the WAL and returns the bytes
+// appended. seq must be exactly the next sequence (the stream assigns
+// them densely; a skip would silently corrupt replay positioning, so it
+// is rejected loudly instead).
+func (st *Store) Append(seq uint64, e raslog.Event) (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dead {
+		return 0, nil
+	}
+	if st.closed {
+		return 0, ErrClosed
+	}
+	if !st.appending {
+		return 0, errors.New("persist: Append before StartAppend")
+	}
+	if seq != st.nextSeq {
+		return 0, fmt.Errorf("persist: out-of-order append: seq %d, want %d", seq, st.nextSeq)
+	}
+	if st.f == nil || st.segBytes >= st.opt.RotateBytes {
+		if err := st.rotateLocked(seq); err != nil {
+			return 0, err
+		}
+	}
+	st.scratch = appendEventFrame(st.scratch[:0], e)
+	n, err := st.bw.Write(st.scratch)
+	st.segBytes += int64(n)
+	if err != nil {
+		return n, err
+	}
+	st.nextSeq++
+	st.unflushed++
+	if st.unflushed >= st.opt.FlushEvery {
+		st.unflushed = 0
+		if err := st.bw.Flush(); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// rotateLocked syncs and closes the current segment (if any) and opens a
+// new one whose first record will carry firstSeq. The old segment is
+// fully durable before the new one exists, which is what confines torn
+// tails to the final segment.
+func (st *Store) rotateLocked(firstSeq uint64) error {
+	if st.f != nil {
+		if err := st.syncLocked(); err != nil {
+			return err
+		}
+		if err := st.f.Close(); err != nil {
+			return err
+		}
+		st.f, st.bw = nil, nil
+	}
+	st.gen++
+	path := filepath.Join(st.dir, walName(firstSeq, st.gen))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	st.f = f
+	st.bw = bufio.NewWriterSize(f, 1<<16)
+	st.segBytes = 0
+	st.unflushed = 0
+	return syncDir(st.dir)
+}
+
+// Flush pushes buffered WAL bytes to the OS (no fsync).
+func (st *Store) Flush() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dead || st.bw == nil {
+		return nil
+	}
+	return st.bw.Flush()
+}
+
+// Sync flushes and fsyncs the current WAL segment.
+func (st *Store) Sync() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dead {
+		return nil
+	}
+	return st.syncLocked()
+}
+
+func (st *Store) syncLocked() error {
+	if st.f == nil {
+		return nil
+	}
+	if err := st.bw.Flush(); err != nil {
+		return err
+	}
+	return st.f.Sync()
+}
+
+// Abandon simulates abrupt process death for crash tests: the write
+// buffer is discarded, the segment handle is closed without flushing,
+// and every later call on the store is a silent no-op. The directory is
+// left exactly as a real kill at this instant would leave it.
+func (st *Store) Abandon() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.dead = true
+	if st.f != nil {
+		_ = st.f.Close() // deliberately without flushing st.bw
+		st.f, st.bw = nil, nil
+	}
+}
+
+// Close makes the WAL durable and releases the store. Safe to call more
+// than once.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dead || st.closed {
+		st.closed = true
+		return nil
+	}
+	st.closed = true
+	if st.f == nil {
+		return nil
+	}
+	err := st.syncLocked()
+	if cerr := st.f.Close(); err == nil {
+		err = cerr
+	}
+	st.f, st.bw = nil, nil
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Directory listing and naming.
+// ---------------------------------------------------------------------------
+
+const (
+	walPrefix  = "wal-"
+	walSuffix  = ".log"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+	tmpSuffix  = ".tmp"
+)
+
+func walName(seq uint64, gen int) string {
+	return fmt.Sprintf("%s%016x-%08x%s", walPrefix, seq, gen, walSuffix)
+}
+
+func snapName(seq uint64, gen int) string {
+	return fmt.Sprintf("%s%016x-%08x%s", snapPrefix, seq, gen, snapSuffix)
+}
+
+// parseStateName decodes either file-name shape, returning ok=false for
+// foreign files (which the store ignores entirely).
+func parseStateName(name string) (seq uint64, gen int, ok bool) {
+	var body string
+	switch {
+	case strings.HasPrefix(name, walPrefix) && strings.HasSuffix(name, walSuffix):
+		body = strings.TrimSuffix(strings.TrimPrefix(name, walPrefix), walSuffix)
+	case strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, snapSuffix):
+		body = strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+	default:
+		return 0, 0, false
+	}
+	var g int
+	if n, err := fmt.Sscanf(body, "%16x-%8x", &seq, &g); n != 2 || err != nil {
+		return 0, 0, false
+	}
+	return seq, g, true
+}
+
+func (st *Store) listNames() ([]string, error) {
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			names = append(names, ent.Name())
+		}
+	}
+	return names, nil
+}
+
+// fileRef is one parsed state file, ordered by (seq, gen).
+type fileRef struct {
+	name string
+	seq  uint64
+	gen  int
+}
+
+func (st *Store) listRefs(prefix string) ([]fileRef, error) {
+	names, err := st.listNames()
+	if err != nil {
+		return nil, err
+	}
+	var out []fileRef
+	for _, n := range names {
+		if !strings.HasPrefix(n, prefix) {
+			continue
+		}
+		if seq, gen, ok := parseStateName(n); ok {
+			out = append(out, fileRef{name: n, seq: seq, gen: gen})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].seq != out[j].seq {
+			return out[i].seq < out[j].seq
+		}
+		return out[i].gen < out[j].gen
+	})
+	return out, nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry is
+// durable. Best-effort on platforms where directories reject fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
+}

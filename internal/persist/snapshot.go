@@ -1,0 +1,284 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/learner"
+	"repro/internal/predictor"
+	"repro/internal/preprocess"
+	"repro/internal/stats"
+)
+
+// Snapshot is the service's full durable state at one consistent cut:
+// every event with sequence < Seq is reflected in it, every later event
+// is recovered from the WAL. Stream-time fields are milliseconds.
+type Snapshot struct {
+	// Seq is the cut position: WAL replay resumes here.
+	Seq uint64 `json:"seq"`
+
+	StreamStartMs int64 `json:"stream_start_ms"`
+	WatermarkMs   int64 `json:"watermark_ms"`
+	NextRetrainMs int64 `json:"next_retrain_ms"`
+	LastFatalMs   int64 `json:"last_fatal_ms"`
+
+	Counters Counters `json:"counters"`
+
+	// Rules is the trained repository in wire form (Dist flattened).
+	Rules []Rule `json:"rules,omitempty"`
+	// Temporal / Spatial are the filter stages' resident keys.
+	Temporal []preprocess.TemporalEntry `json:"temporal,omitempty"`
+	Spatial  []preprocess.SpatialEntry  `json:"spatial,omitempty"`
+	// Predictor is the live predictor's runtime state; nil before the
+	// first training pass.
+	Predictor *predictor.State `json:"predictor,omitempty"`
+	// History is the retraining window; Warnings the recent-warnings ring.
+	History  []preprocess.TaggedEvent `json:"history,omitempty"`
+	Warnings []predictor.Warning      `json:"warnings,omitempty"`
+	// Retrains carries the service's retrain records opaquely (their type
+	// is private to the stream package).
+	Retrains json.RawMessage `json:"retrains,omitempty"`
+}
+
+// Counters are the pipeline counters consistent with the cut, so a
+// recovered service's /stats continues instead of restarting from zero.
+type Counters struct {
+	Sequenced     int64 `json:"sequenced"`
+	LateDropped   int64 `json:"late_dropped"`
+	Overflow      int64 `json:"overflow"`
+	AfterTemporal int64 `json:"after_temporal"`
+	Processed     int64 `json:"processed"`
+	Fatals        int64 `json:"fatals"`
+	Warnings      int64 `json:"warnings"`
+}
+
+// Rule is the serialized form of learner.Rule: identical fields, with
+// the Distribution interface flattened to a named parameter vector.
+type Rule struct {
+	Kind       int     `json:"kind"`
+	Body       []int   `json:"body,omitempty"`
+	Target     int     `json:"target"`
+	Confidence float64 `json:"confidence"`
+	Support    float64 `json:"support"`
+	Count      int     `json:"count"`
+	ElapsedSec int64   `json:"elapsed_sec"`
+	Dist       *Dist   `json:"dist,omitempty"`
+}
+
+// Dist names a fitted distribution and its parameters, in the family's
+// canonical order: weibull (scale, shape), exponential (scale),
+// lognormal (mu, sigma). Float64 JSON round trips are exact, so a
+// restored distribution is bit-identical to the fitted one.
+type Dist struct {
+	Name   string    `json:"name"`
+	Params []float64 `json:"params"`
+}
+
+// EncodeRules converts repository rules to wire form. An unknown
+// distribution type is a programming error (a new family was added
+// without teaching the codec) and fails loudly.
+func EncodeRules(rules []learner.Rule) ([]Rule, error) {
+	out := make([]Rule, len(rules))
+	for i, r := range rules {
+		w := Rule{
+			Kind:       int(r.Kind),
+			Body:       r.Body,
+			Target:     r.Target,
+			Confidence: r.Confidence,
+			Support:    r.Support,
+			Count:      r.Count,
+			ElapsedSec: r.ElapsedSec,
+		}
+		switch d := r.Dist.(type) {
+		case nil:
+		case stats.Weibull:
+			w.Dist = &Dist{Name: d.Name(), Params: []float64{d.Scale, d.Shape}}
+		case stats.Exponential:
+			w.Dist = &Dist{Name: d.Name(), Params: []float64{d.Scale}}
+		case stats.LogNormal:
+			w.Dist = &Dist{Name: d.Name(), Params: []float64{d.Mu, d.Sigma}}
+		default:
+			return nil, fmt.Errorf("persist: rule %q: unsupported distribution type %T", r.ID(), r.Dist)
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// DecodeRules converts wire rules back. Unknown or malformed
+// distributions fail loudly rather than reviving a rule that cannot
+// predict.
+func DecodeRules(wire []Rule) ([]learner.Rule, error) {
+	out := make([]learner.Rule, len(wire))
+	for i, w := range wire {
+		r := learner.Rule{
+			Kind:       learner.Kind(w.Kind),
+			Body:       w.Body,
+			Target:     w.Target,
+			Confidence: w.Confidence,
+			Support:    w.Support,
+			Count:      w.Count,
+			ElapsedSec: w.ElapsedSec,
+		}
+		if w.Dist != nil {
+			d, err := decodeDist(*w.Dist)
+			if err != nil {
+				return nil, fmt.Errorf("persist: rule %d: %w", i, err)
+			}
+			r.Dist = d
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func decodeDist(w Dist) (stats.Distribution, error) {
+	want := map[string]int{"weibull": 2, "exponential": 1, "lognormal": 2}[w.Name]
+	if want == 0 {
+		return nil, fmt.Errorf("unknown distribution family %q", w.Name)
+	}
+	if len(w.Params) != want {
+		return nil, fmt.Errorf("distribution %q wants %d params, got %d", w.Name, want, len(w.Params))
+	}
+	switch w.Name {
+	case "weibull":
+		return stats.NewWeibull(w.Params[0], w.Params[1])
+	case "exponential":
+		return stats.NewExponential(w.Params[0])
+	default:
+		return stats.NewLogNormal(w.Params[0], w.Params[1])
+	}
+}
+
+// WriteSnapshot persists s atomically and returns the bytes written. The
+// sequence order is what makes recovery sound: the WAL is synced first,
+// so the snapshot's existence implies the log is durable through s.Seq;
+// then temp file + fsync + rename + directory fsync publish the snapshot
+// all-or-nothing; only then are superseded snapshots and WAL segments
+// wholly below s.Seq removed.
+func (st *Store) WriteSnapshot(s *Snapshot) (int64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dead {
+		return 0, nil
+	}
+	if st.closed {
+		return 0, ErrClosed
+	}
+	if err := st.syncLocked(); err != nil {
+		return 0, err
+	}
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return 0, fmt.Errorf("persist: snapshot encode: %w", err)
+	}
+	frame := appendFrame(make([]byte, 0, len(payload)+frameHeader), payload)
+
+	st.gen++
+	final := filepath.Join(st.dir, snapName(s.Seq, st.gen))
+	tmp := final + tmpSuffix
+	if err := writeFileSync(tmp, frame); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return 0, err
+	}
+	if err := syncDir(st.dir); err != nil {
+		return 0, err
+	}
+	if err := st.pruneLocked(s.Seq); err != nil {
+		return 0, err
+	}
+	return int64(len(frame)), nil
+}
+
+func writeFileSync(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(b)
+	serr := f.Sync()
+	cerr := f.Close()
+	for _, e := range []error{werr, serr, cerr} {
+		if e != nil {
+			os.Remove(path)
+			return e
+		}
+	}
+	return nil
+}
+
+// pruneLocked removes snapshots beyond the retention count and WAL
+// segments every record of which predates the snapshot at snapSeq. A
+// segment's records end where the next segment's begin, so segment i is
+// removable exactly when segment i+1 starts at or below snapSeq; the
+// newest segment (possibly open for appending) is never removed.
+func (st *Store) pruneLocked(snapSeq uint64) error {
+	snaps, err := st.listRefs(snapPrefix)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < len(snaps)-st.opt.KeepSnapshots; i++ {
+		if err := os.Remove(filepath.Join(st.dir, snaps[i].name)); err != nil {
+			return err
+		}
+	}
+	segs, err := st.listRefs(walPrefix)
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].seq > snapSeq {
+			break
+		}
+		if err := os.Remove(filepath.Join(st.dir, segs[i].name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSnapshot returns the newest snapshot that reads back valid, or nil
+// when none exists. An unreadable or corrupt newer file is skipped — the
+// fallback retained by KeepSnapshots plus a longer WAL replay recover
+// the same state.
+func (st *Store) LoadSnapshot() (*Snapshot, error) {
+	snaps, err := st.listRefs(snapPrefix)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		s, err := readSnapshotFile(filepath.Join(st.dir, snaps[i].name))
+		if err == nil {
+			return s, nil
+		}
+	}
+	return nil, nil
+}
+
+func readSnapshotFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	payload, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		return nil, errors.New("persist: trailing bytes after snapshot frame")
+	}
+	var s Snapshot
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

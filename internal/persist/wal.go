@@ -1,0 +1,233 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/raslog"
+)
+
+// Frame layout, shared by WAL records and snapshot files:
+//
+//	u32 LE  payload length
+//	u32 LE  CRC-32C (Castagnoli) of the payload
+//	bytes   payload
+//
+// A WAL payload is one event in a compact varint encoding (below); a
+// snapshot payload is the snapshot JSON. The CRC turns both torn writes
+// and bit rot into a detected stop instead of silently-wrong state.
+
+const frameHeader = 8
+
+// maxFrame bounds a frame payload so a garbage length prefix (torn
+// header bytes) cannot drive a huge allocation.
+const maxFrame = 256 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks the point where a segment's durable records end: a
+// partial or checksum-failing frame, the signature of a crash mid-write.
+var errTorn = errors.New("persist: torn or corrupt frame")
+
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	return append(append(dst, hdr[:]...), payload...)
+}
+
+// readFrame returns the next payload, io.EOF at a clean segment end, or
+// errTorn when the remaining bytes do not form a whole valid frame.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, errTorn
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxFrame {
+		return nil, errTorn
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, errTorn
+		}
+		return nil, err
+	}
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, errTorn
+	}
+	return payload, nil
+}
+
+// appendEventFrame encodes e and frames it in one pass into dst.
+func appendEventFrame(dst []byte, e raslog.Event) []byte {
+	return appendFrame(dst, appendEvent(nil, e))
+}
+
+// appendEvent encodes e in the WAL's binary form: varints (zigzag for
+// the signed fields) plus length-prefixed strings. Unlike the text
+// codec — which records whole seconds — this is lossless at millisecond
+// resolution, so replayed events are byte-identical to ingested ones.
+func appendEvent(b []byte, e raslog.Event) []byte {
+	b = binary.AppendVarint(b, e.RecordID)
+	b = binary.AppendVarint(b, e.Time)
+	b = binary.AppendVarint(b, e.JobID)
+	b = binary.AppendUvarint(b, uint64(e.Facility))
+	b = binary.AppendUvarint(b, uint64(e.Severity))
+	b = appendString(b, e.Type)
+	b = appendString(b, e.Location)
+	return appendString(b, e.Entry)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+type eventDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *eventDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.err = errors.New("persist: bad varint in event record")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *eventDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = errors.New("persist: bad uvarint in event record")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *eventDecoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)) {
+		d.err = errors.New("persist: truncated string in event record")
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func decodeEvent(b []byte) (raslog.Event, error) {
+	d := eventDecoder{buf: b}
+	var e raslog.Event
+	e.RecordID = d.varint()
+	e.Time = d.varint()
+	e.JobID = d.varint()
+	e.Facility = raslog.Facility(d.uvarint())
+	e.Severity = raslog.Severity(d.uvarint())
+	e.Type = d.str()
+	e.Location = d.str()
+	e.Entry = d.str()
+	if d.err == nil && len(d.buf) != 0 {
+		d.err = errors.New("persist: trailing bytes in event record")
+	}
+	return e, d.err
+}
+
+// Replay streams every durable WAL record with sequence >= from to fn,
+// in order, and returns the sequence *after* the last durable record —
+// the position StartAppend must resume from. A torn tail ends the final
+// segment's records; a torn or missing range in front of a later segment
+// is real corruption and fails loudly rather than replaying a stream
+// with a hole in it.
+func (st *Store) Replay(from uint64, fn func(seq uint64, e raslog.Event) error) (uint64, error) {
+	segs, err := st.listRefs(walPrefix)
+	if err != nil {
+		return 0, err
+	}
+	next := from
+	for i, seg := range segs {
+		if seg.seq > next && i > 0 {
+			return 0, fmt.Errorf("persist: WAL gap: segment %s starts at seq %d, have %d", seg.name, seg.seq, next)
+		}
+		if seg.seq > next {
+			// The oldest retained segment starts beyond `from`: the caller's
+			// snapshot is older than the truncation point, so the records in
+			// between are gone.
+			return 0, fmt.Errorf("persist: WAL gap: oldest segment %s starts at seq %d, need %d", seg.name, seg.seq, from)
+		}
+		stop := uint64(1<<64 - 1)
+		if i+1 < len(segs) {
+			stop = segs[i+1].seq // a newer segment supersedes anything past its start
+		}
+		end, err := replaySegment(filepath.Join(st.dir, seg.name), seg.seq, next, stop, fn)
+		if err != nil {
+			return 0, err
+		}
+		if end < stop && i+1 < len(segs) {
+			return 0, fmt.Errorf("persist: WAL gap: segment %s ends at seq %d, next starts at %d", seg.name, end, stop)
+		}
+		next = end
+	}
+	return next, nil
+}
+
+// replaySegment reads one segment whose first record is firstSeq,
+// invoking fn for records in [from, stop). It returns the sequence after
+// the segment's last durable record (capped at stop).
+func replaySegment(path string, firstSeq, from, stop uint64, fn func(seq uint64, e raslog.Event) error) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	seq := firstSeq
+	for seq < stop {
+		payload, err := readFrame(r)
+		if err == io.EOF || errors.Is(err, errTorn) {
+			break // durable end of this segment
+		}
+		if err != nil {
+			return 0, fmt.Errorf("persist: %s: %w", path, err)
+		}
+		e, err := decodeEvent(payload)
+		if err != nil {
+			// A frame that passes its CRC but does not decode is not a torn
+			// tail; it means the writer and reader disagree. Fail loudly.
+			return 0, fmt.Errorf("persist: %s: record %d: %w", path, seq, err)
+		}
+		if seq >= from {
+			if err := fn(seq, e); err != nil {
+				return 0, err
+			}
+		}
+		seq++
+	}
+	return seq, nil
+}

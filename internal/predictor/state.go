@@ -1,0 +1,72 @@
+package predictor
+
+// Runtime-state export/import for durable snapshots (internal/persist)
+// and for carrying dedup state across rule swaps. The rules themselves
+// are not part of State: they are repository contents, serialized
+// separately; State is only what Observe accumulates at run time.
+
+// RecentEvent is one sliding-window entry in an exported State.
+type RecentEvent struct {
+	TimeMs int64 `json:"t"`
+	Class  int   `json:"c"`
+	Fatal  bool  `json:"f,omitempty"`
+}
+
+// State is a predictor's runtime state: the recent-events window, the
+// elapsed-time tracker and the per-family warning-dedup marks. The
+// window's derived indexes (class multiplicities, fatal times) are
+// rebuilt on restore, not serialized.
+type State struct {
+	Recent      []RecentEvent `json:"recent,omitempty"`
+	LastFatalMs int64         `json:"last_fatal_ms"`
+	LastWarnMs  [3]int64      `json:"last_warn_ms"`
+}
+
+// ExportState captures the predictor's runtime state.
+func (pr *Predictor) ExportState() State {
+	st := State{
+		Recent:      make([]RecentEvent, len(pr.recent)),
+		LastFatalMs: pr.lastFatal,
+		LastWarnMs:  pr.lastWarn,
+	}
+	for i, re := range pr.recent {
+		st.Recent[i] = RecentEvent{TimeMs: re.time, Class: re.class, Fatal: re.fatal}
+	}
+	return st
+}
+
+// RestoreState replaces the predictor's runtime state with st, rebuilding
+// the window indexes. The rule set is untouched.
+func (pr *Predictor) RestoreState(st State) {
+	pr.recent = make([]recentEvent, len(st.Recent))
+	pr.classCount = make(map[int]int, len(st.Recent))
+	pr.fatalTimes = pr.fatalTimes[:0]
+	for i, re := range st.Recent {
+		pr.recent[i] = recentEvent{time: re.TimeMs, class: re.Class, fatal: re.Fatal}
+		pr.classCount[re.Class]++
+		if re.Fatal {
+			pr.fatalTimes = append(pr.fatalTimes, re.TimeMs)
+		}
+	}
+	pr.lastFatal = st.LastFatalMs
+	pr.lastWarn = st.LastWarnMs
+}
+
+// LastWarnTimes returns the per-family timestamps (ms) of the most recent
+// emitted warnings, -1 where a family has never warned.
+func (pr *Predictor) LastWarnTimes() [3]int64 { return pr.lastWarn }
+
+// SeedLastWarn primes the warning-dedup marks (keeping the later mark per
+// family), so a predictor swapped in at a retraining boundary does not
+// re-issue a warning its predecessor already raised within the dedup
+// interval. The counterpart of SeedLastFatal: seeding only the
+// elapsed-time tracker re-arms the distribution expert while forgetting
+// that it just fired — the stale-lastFatal re-warn bug pinned by
+// TestSwapPredictorKeepsWarnSpacing.
+func (pr *Predictor) SeedLastWarn(t [3]int64) {
+	for i, v := range t {
+		if v > pr.lastWarn[i] {
+			pr.lastWarn[i] = v
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package preprocess
+
+import (
+	"sort"
+
+	"repro/internal/raslog"
+)
+
+// Export/Restore turn the streaming filter stages' resident key state
+// into plain rows and back, for the durable snapshots of internal/persist.
+// Rows are sorted so identical stage state always serializes identically.
+//
+// Record is the third piece: it lets a second TemporalStage mirror one or
+// more live stages by replaying their (event, kept) decisions instead of
+// re-deciding. The temporal key includes the location and the stream
+// shards partition by location, so the union of the shards' states *is*
+// one global stage's state — the mirror reproduces it exactly (modulo
+// sweep timing, which never changes a decision), and a restored mirror
+// can be split back across shards.
+
+// TemporalEntry is one resident key of a TemporalStage.
+type TemporalEntry struct {
+	Location string `json:"loc"`
+	JobID    int64  `json:"job"`
+	Entry    string `json:"entry"`
+	// LastMs is the key's anchor timestamp: last kept event, or last seen
+	// under Sliding.
+	LastMs int64 `json:"last_ms"`
+}
+
+// Export returns the stage's resident keys, sorted.
+func (t *TemporalStage) Export() []TemporalEntry {
+	out := make([]TemporalEntry, 0, len(t.last))
+	for k, last := range t.last {
+		out = append(out, TemporalEntry{Location: k.loc, JobID: k.jobID, Entry: k.entry, LastMs: last})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Location != b.Location {
+			return a.Location < b.Location
+		}
+		if a.JobID != b.JobID {
+			return a.JobID < b.JobID
+		}
+		return a.Entry < b.Entry
+	})
+	return out
+}
+
+// Restore replaces the stage's resident keys with rows (typically a
+// filtered subset of an Export).
+func (t *TemporalStage) Restore(rows []TemporalEntry) {
+	t.last = make(map[tempKey]int64, len(rows))
+	for _, r := range rows {
+		t.last[tempKey{r.Location, r.JobID, r.Entry}] = r.LastMs
+	}
+	t.sinceSweep = 0
+}
+
+// Record applies the outcome of another stage's Observe(e) == kept
+// decision without re-deciding, keeping this stage's state identical to
+// the decider's (see the file comment). No-op when compression is off.
+func (t *TemporalStage) Record(e raslog.Event, kept bool) {
+	if t.thresholdMs <= 0 {
+		return
+	}
+	t.maybeSweep(e.Time)
+	// Observe re-anchors the key when it keeps the event, and also when it
+	// drops one under Sliding; an anchored (non-sliding) drop leaves the
+	// key untouched.
+	if kept || t.sliding {
+		t.last[tempKey{e.Location, e.JobID, e.Entry}] = e.Time
+	}
+}
+
+// SpatialEntry is one resident key of a SpatialStage.
+type SpatialEntry struct {
+	JobID int64  `json:"job"`
+	Entry string `json:"entry"`
+	// Location is the key's anchoring location; LastMs its timestamp.
+	Location string `json:"loc"`
+	LastMs   int64  `json:"last_ms"`
+}
+
+// Export returns the stage's resident keys, sorted.
+func (s *SpatialStage) Export() []SpatialEntry {
+	out := make([]SpatialEntry, 0, len(s.last))
+	for k, st := range s.last {
+		out = append(out, SpatialEntry{JobID: k.jobID, Entry: k.entry, Location: st.loc, LastMs: st.time})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.JobID != b.JobID {
+			return a.JobID < b.JobID
+		}
+		return a.Entry < b.Entry
+	})
+	return out
+}
+
+// Restore replaces the stage's resident keys with rows.
+func (s *SpatialStage) Restore(rows []SpatialEntry) {
+	s.last = make(map[spatKey]spatState, len(rows))
+	for _, r := range rows {
+		s.last[spatKey{r.JobID, r.Entry}] = spatState{time: r.LastMs, loc: r.Location}
+	}
+	s.sinceSweep = 0
+}

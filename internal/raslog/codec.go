@@ -72,8 +72,13 @@ func ReadLog(r io.Reader, name string) (*Log, error) {
 	return l, nil
 }
 
-// ParseLine parses one codec line into an Event.
+// ParseLine parses one codec line into an Event. A single trailing
+// carriage return is stripped, so a raw CRLF line decodes identically to
+// the same line fed through a line scanner (which strips it first) —
+// otherwise the \r would silently end up inside the final Entry field
+// and make the "same" event categorize differently.
 func ParseLine(line string) (Event, error) {
+	line = strings.TrimSuffix(line, "\r")
 	parts := strings.SplitN(line, "|", codecFields)
 	if len(parts) != codecFields {
 		return Event{}, fmt.Errorf("want %d fields, got %d", codecFields, len(parts))

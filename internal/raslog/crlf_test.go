@@ -1,0 +1,88 @@
+package raslog
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Two variants of the same three-event log: Unix line endings with a
+// trailing newline, and DOS line endings where the final line is cut off
+// without one. Both shapes show up in real log transfers and must decode
+// to the same events through every reader.
+const lfLog = "1|RAS|1106281621|0|R00-M0-N08-C13-U0|KERNEL|ERROR|kernel status\n" +
+	"2|RAS|1106281622|0|R00-M1|APP|INFO|app checkpoint\n" +
+	"3|RAS|1106281623|7|R01-M0|MONITOR|WARNING|fan speed low\n"
+
+var crlfNoFinalLog = strings.TrimSuffix(strings.ReplaceAll(lfLog, "\n", "\r\n"), "\r\n")
+
+func scanAll(t *testing.T, input string) []Event {
+	t.Helper()
+	var out []Event
+	if err := ScanLog(strings.NewReader(input), func(e Event) error {
+		out = append(out, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("ScanLog: %v", err)
+	}
+	return out
+}
+
+// TestReadersAgreeOnLineEndings pins that ReadLog and ScanLog produce
+// identical events for LF input with a final newline and for CRLF input
+// missing one — no reader may leak a \r into Entry or drop the last line.
+func TestReadersAgreeOnLineEndings(t *testing.T) {
+	ref, err := ReadLog(strings.NewReader(lfLog), "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Len() != 3 {
+		t.Fatalf("reference log has %d events, want 3", ref.Len())
+	}
+	for name, input := range map[string]string{
+		"lf":            lfLog,
+		"crlf-no-final": crlfNoFinalLog,
+	} {
+		t.Run(name, func(t *testing.T) {
+			got, err := ReadLog(strings.NewReader(input), name)
+			if err != nil {
+				t.Fatalf("ReadLog: %v", err)
+			}
+			if !reflect.DeepEqual(got.Events, ref.Events) {
+				t.Errorf("ReadLog(%s) diverges from reference:\n%+v\n%+v", name, got.Events, ref.Events)
+			}
+			if scanned := scanAll(t, input); !reflect.DeepEqual(scanned, ref.Events) {
+				t.Errorf("ScanLog(%s) diverges from reference:\n%+v\n%+v", name, scanned, ref.Events)
+			}
+		})
+	}
+}
+
+// TestParseLineStripsTrailingCR pins that a raw CRLF-terminated line fed
+// straight to ParseLine decodes identically to its LF twin, and that
+// exactly one trailing \r is stripped — interior ones stay in Entry.
+func TestParseLineStripsTrailingCR(t *testing.T) {
+	const line = "1|RAS|1106281621|0|R00-M0|KERNEL|ERROR|kernel status"
+	want, err := ParseLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseLine(line + "\r")
+	if err != nil {
+		t.Fatalf("ParseLine with trailing CR: %v", err)
+	}
+	if got != want {
+		t.Errorf("trailing CR changed the event:\n%+v\n%+v", got, want)
+	}
+	if got.Entry != "kernel status" {
+		t.Errorf("Entry = %q, want %q", got.Entry, "kernel status")
+	}
+
+	inner, err := ParseLine("1|RAS|1106281621|0|R00-M0|KERNEL|ERROR|split\rentry\r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Entry != "split\rentry" {
+		t.Errorf("interior CR handling: Entry = %q, want %q", inner.Entry, "split\rentry")
+	}
+}

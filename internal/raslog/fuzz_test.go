@@ -13,6 +13,9 @@ func FuzzParseLine(f *testing.F) {
 	f.Add("2|RAS|0|0||APP|INFO|")
 	f.Add("||||||||")
 	f.Add("9223372036854775807|x|9223372036854775807|1|l|MONITOR|FAILURE|e")
+	f.Add("1|RAS|1106281621|0|R00-M0|KERNEL|ERROR|kernel status\r")
+	f.Add("3|RAS|7|0|R01-M1|LINKCARD|WARNING|entry with\rinner cr")
+	f.Add("\r")
 	f.Fuzz(func(t *testing.T, line string) {
 		e, err := ParseLine(line)
 		if err != nil {

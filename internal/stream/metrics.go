@@ -19,13 +19,24 @@ type metrics struct {
 	reg *obsv.Registry
 
 	// Pipeline counters, one per stage boundary.
-	ingested      *obsv.Counter // accepted by Ingest
-	sequenced     *obsv.Counter // released in order by the sequencer
-	lateDropped   *obsv.Counter // beyond the reorder tolerance
-	afterTemporal *obsv.Counter // survived the temporal filter (shards)
-	processed     *obsv.Counter // survived the spatial filter (collector)
-	fatals        *obsv.Counter
-	warningsTotal *obsv.Counter
+	ingested        *obsv.Counter // accepted by Ingest
+	sequenced       *obsv.Counter // released in order by the sequencer
+	lateDropped     *obsv.Counter // beyond the reorder tolerance
+	reorderOverflow *obsv.Counter // released early by the buffer cap, in tolerance
+	afterTemporal   *obsv.Counter // survived the temporal filter (shards)
+	processed       *obsv.Counter // survived the spatial filter (collector)
+	fatals          *obsv.Counter
+	warningsTotal   *obsv.Counter
+
+	// Durability instruments (all stay zero without a StateDir).
+	walBytes        *obsv.Counter
+	walErrors       *obsv.Counter
+	snapshots       *obsv.Counter
+	snapshotErrors  *obsv.Counter
+	snapshotBytes   *obsv.Counter
+	replayed        *obsv.Counter
+	recoverySeconds *obsv.Gauge
+	snapshotLatency *obsv.Histogram
 
 	// Gauges. Stream-time values are milliseconds; streamStart is -1
 	// until the first event, nextRetrain is -1 when no training is due
@@ -60,6 +71,8 @@ func newMetrics(s *Service) *metrics {
 			"Events released in time order by the sequencer."),
 		lateDropped: reg.Counter("stream_late_dropped_total",
 			"Events dropped for arriving beyond the reorder tolerance."),
+		reorderOverflow: reg.Counter("stream_reorder_overflow_total",
+			"Events released early by the reorder-buffer cap while still inside the tolerance."),
 		afterTemporal: reg.Counter("stream_after_temporal_total",
 			"Events surviving the temporal filter (shard stage)."),
 		processed: reg.Counter("stream_processed_total",
@@ -86,6 +99,23 @@ func newMetrics(s *Service) *metrics {
 		obsv.Label{Key: "stage", Value: "shard"})
 	m.collectLatency = reg.Histogram("stream_stage_latency_seconds", "", stageBuckets,
 		obsv.Label{Key: "stage", Value: "collector"})
+
+	m.walBytes = reg.Counter("stream_wal_bytes_total",
+		"Bytes appended to the write-ahead log.")
+	m.walErrors = reg.Counter("stream_wal_errors_total",
+		"Failed WAL appends (the event still flows through the pipeline).")
+	m.snapshots = reg.Counter("stream_snapshots_total",
+		"Durable snapshots written.")
+	m.snapshotErrors = reg.Counter("stream_snapshot_errors_total",
+		"Failed snapshot writes (the previous snapshot stays authoritative).")
+	m.snapshotBytes = reg.Counter("stream_snapshot_bytes_total",
+		"Bytes written across all snapshots.")
+	m.replayed = reg.Counter("stream_replayed_total",
+		"WAL events replayed through the pipeline during startup recovery.")
+	m.recoverySeconds = reg.Gauge("stream_recovery_seconds",
+		"Wall time of the last startup recovery (snapshot load + WAL replay).")
+	m.snapshotLatency = reg.Histogram("stream_snapshot_latency_seconds",
+		"Wall time per durable snapshot write.", stageBuckets)
 
 	reg.GaugeFunc("stream_retraining",
 		"1 while a background training pass is in flight.", func() float64 {

@@ -1,0 +1,344 @@
+package stream
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/learner"
+	"repro/internal/meta"
+	"repro/internal/preprocess"
+	"repro/internal/raslog"
+)
+
+// durableConfig is the deterministic configuration the recovery tests
+// share: synchronous retraining (so the predictor swap lands at a fixed
+// stream position), per-record WAL flushing (so everything sequenced
+// before a kill is durable), and an oversized warnings ring (so full
+// warning histories can be compared, not just tails).
+func durableConfig(dir string) Config {
+	cfg := Defaults()
+	cfg.InitialTrain = 3 * week
+	cfg.RetrainEvery = 2 * week
+	cfg.TrainWindow = 6 * week
+	cfg.SyncRetrain = true
+	cfg.WarningsKeep = 1 << 20
+	cfg.StateDir = dir
+	cfg.WALFlushEvery = 1
+	return cfg
+}
+
+// referenceRun feeds the whole log uninterrupted and returns the closed
+// service. StateDir is empty: persistence must not change behavior, so
+// the reference is the plain in-memory service.
+func referenceRun(t *testing.T, l *raslog.Log) *Service {
+	t.Helper()
+	s, err := New(durableConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, s, l)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// compareServices asserts the recovered service ended in exactly the
+// reference's state: rule set (including fitted distribution parameters,
+// which must survive the JSON round trip bit-exactly), the full warning
+// history, the retrain history, counters, clocks and the training window.
+func compareServices(t *testing.T, got, want *Service) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Rules(), want.Rules()) {
+		t.Errorf("rule sets differ after recovery:\n got %d rules %+v\nwant %d rules %+v",
+			len(got.Rules()), got.Rules(), len(want.Rules()), want.Rules())
+	}
+	gw, ww := got.Warnings(0), want.Warnings(0)
+	if len(gw) != len(ww) {
+		t.Fatalf("warning counts differ: got %d, want %d", len(gw), len(ww))
+	}
+	for i := range gw {
+		if gw[i] != ww[i] {
+			t.Fatalf("warning %d differs: got %+v, want %+v", i, gw[i], ww[i])
+		}
+	}
+	gs, ws := got.Stats(), want.Stats()
+	if len(gs.Retrains) != len(ws.Retrains) {
+		t.Fatalf("retrain counts differ: got %d, want %d", len(gs.Retrains), len(ws.Retrains))
+	}
+	for i := range gs.Retrains {
+		if gs.Retrains[i].At != ws.Retrains[i].At || gs.Retrains[i].Err != ws.Retrains[i].Err {
+			t.Errorf("retrain %d differs: got %+v, want %+v", i, gs.Retrains[i], ws.Retrains[i])
+		}
+	}
+	for _, c := range []struct {
+		name      string
+		got, want int64
+	}{
+		{"ingested", gs.Ingested, ws.Ingested},
+		{"sequenced", gs.Sequenced, ws.Sequenced},
+		{"late_dropped", gs.LateDropped, ws.LateDropped},
+		{"after_temporal", gs.AfterTemporal, ws.AfterTemporal},
+		{"processed", gs.Processed, ws.Processed},
+		{"fatals", gs.Fatals, ws.Fatals},
+		{"warnings_total", gs.WarningsTotal, ws.WarningsTotal},
+		{"rules", gs.Rules, ws.Rules},
+	} {
+		if c.got != c.want {
+			t.Errorf("stat %s: got %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if gs.Watermark != ws.Watermark || gs.StreamStart != ws.StreamStart || gs.NextRetrain != ws.NextRetrain {
+		t.Errorf("stream clocks differ: got (%d, %d, %d), want (%d, %d, %d)",
+			gs.StreamStart, gs.Watermark, gs.NextRetrain, ws.StreamStart, ws.Watermark, ws.NextRetrain)
+	}
+	got.mu.Lock()
+	gh := append([]preprocess.TaggedEvent(nil), got.history...)
+	got.mu.Unlock()
+	want.mu.Lock()
+	wh := append([]preprocess.TaggedEvent(nil), want.history...)
+	want.mu.Unlock()
+	if !reflect.DeepEqual(gh, wh) {
+		t.Errorf("training histories differ: got %d events, want %d", len(gh), len(wh))
+	}
+}
+
+// TestCrashRestartEquivalence is the tentpole acceptance test: a service
+// killed at an arbitrary point and restarted over the same state
+// directory must end with the same rule set and the same warnings as one
+// that ran uninterrupted. Kill points cover before the first training
+// (WAL-only recovery), around the first snapshot, and deep into the
+// retrain cadence.
+func TestCrashRestartEquivalence(t *testing.T) {
+	l := genLog(t, 11, 8)
+	events := l.Events
+	ref := referenceRun(t, l)
+	if len(ref.Rules()) == 0 || len(ref.Warnings(0)) == 0 {
+		t.Fatalf("reference run is trivial: %d rules, %d warnings — test would prove nothing",
+			len(ref.Rules()), len(ref.Warnings(0)))
+	}
+
+	for _, kill := range []int{100, len(events) / 3, len(events) / 2, 5 * len(events) / 6} {
+		t.Run(fmt.Sprintf("kill=%d", kill), func(t *testing.T) {
+			dir := t.TempDir()
+
+			first, err := New(durableConfig(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ingestAll(t, first, &raslog.Log{Name: l.Name, Events: events[:kill]})
+			// Let the sequencer drain its input queue; events still inside
+			// the reorder tolerance stay buffered and die with the process,
+			// exactly as a real kill -9 would lose them.
+			waitFor(t, 30*time.Second, func() bool {
+				st := first.Stats()
+				return st.Sequenced+st.LateDropped+int64(st.Queues.Reorder) == int64(kill)
+			})
+			durable := first.Stats().Sequenced
+			first.crash()
+
+			second, err := New(durableConfig(dir))
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			rec := second.Recovery()
+			// Per-record flush means every sequenced event was durable, and
+			// an in-order feed means sequence i is input index i — so the
+			// resume position is exactly the count of sequenced events, and
+			// re-feeding events[ResumeSeq:] covers both the never-ingested
+			// tail and the events the reorder buffer lost.
+			if rec.ResumeSeq != uint64(durable) {
+				t.Fatalf("resume seq %d, want %d (replayed %d from snapshot %d)",
+					rec.ResumeSeq, durable, rec.Replayed, rec.SnapshotSeq)
+			}
+			ingestAll(t, second, &raslog.Log{Name: l.Name, Events: events[rec.ResumeSeq:]})
+			if err := second.Close(); err != nil {
+				t.Fatal(err)
+			}
+			compareServices(t, second, ref)
+		})
+	}
+}
+
+// TestCrashDuringRecoveredRun re-kills an already-recovered service: the
+// second recovery reads the first recovery's own snapshots and WAL chain
+// (generation-suffixed segment names keep the chains apart).
+func TestCrashDuringRecoveredRun(t *testing.T) {
+	l := genLog(t, 13, 8)
+	events := l.Events
+	ref := referenceRun(t, l)
+
+	dir := t.TempDir()
+	k1, k2 := len(events)/3, 2*len(events)/3
+
+	first, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, first, &raslog.Log{Name: l.Name, Events: events[:k1]})
+	first.crash()
+
+	second, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, second, &raslog.Log{Name: l.Name, Events: events[second.Recovery().ResumeSeq:k2]})
+	second.crash()
+
+	third, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, third, &raslog.Log{Name: l.Name, Events: events[third.Recovery().ResumeSeq:]})
+	if err := third.Close(); err != nil {
+		t.Fatal(err)
+	}
+	compareServices(t, third, ref)
+}
+
+// TestGracefulRestartReplaysNothing pins the shutdown snapshot: Close
+// leaves a snapshot of the fully drained state, so the next start replays
+// zero WAL events and still matches the reference.
+func TestGracefulRestartReplaysNothing(t *testing.T) {
+	l := genLog(t, 17, 8)
+	events := l.Events
+	ref := referenceRun(t, l)
+
+	dir := t.TempDir()
+	half := len(events) / 2
+	first, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, first, &raslog.Log{Name: l.Name, Events: events[:half]})
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := second.Recovery()
+	if rec.Replayed != 0 {
+		t.Errorf("graceful restart replayed %d events; the shutdown snapshot should cover everything", rec.Replayed)
+	}
+	if rec.ResumeSeq != uint64(half) {
+		t.Fatalf("resume seq %d, want %d", rec.ResumeSeq, half)
+	}
+	if st := second.Stats(); st.Recovery == nil {
+		t.Error("Stats.Recovery missing for a durable service")
+	}
+	ingestAll(t, second, &raslog.Log{Name: l.Name, Events: events[rec.ResumeSeq:]})
+	if err := second.Close(); err != nil {
+		t.Fatal(err)
+	}
+	compareServices(t, second, ref)
+}
+
+// TestPersistenceDoesNotPerturbPipeline pins that turning StateDir on
+// changes nothing about what the pipeline computes (the WAL append and
+// the temporal mirror are pure observers).
+func TestPersistenceDoesNotPerturbPipeline(t *testing.T) {
+	l := genLog(t, 19, 6)
+	ref := referenceRun(t, l)
+
+	s, err := New(durableConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, s, l)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	compareServices(t, s, ref)
+}
+
+// TestSwapPredictorKeepsWarnSpacing is the regression test for the
+// rule-swap dedup bug: seeding only lastFatal re-armed the distribution
+// expert, so the first warning-eligible event after every retraining
+// could double-warn — once before the swap and once right after, inside
+// the dedup interval.
+func TestSwapPredictorKeepsWarnSpacing(t *testing.T) {
+	cfg := Defaults()
+	full, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Service{cfg: full, repo: meta.NewRepository()}
+	s.lastFatal.Store(-1)
+	for i := range s.lastWarn {
+		s.lastWarn[i].Store(-1)
+	}
+	s.m = newMetrics(s)
+
+	// One distribution rule: more than 60 s since the last fatal warns.
+	s.repo.Restore([]learner.Rule{{Kind: learner.Distribution, ElapsedSec: 60, Confidence: 0.9}})
+	const fatalAt = int64(1_000_000_000_000)
+	s.lastFatal.Store(fatalAt)
+	s.swapPredictor()
+
+	// 70 s after the fatal: the live predictor warns, through the normal
+	// process path (which is what maintains the service's dedup mirror).
+	warnAt := fatalAt + 70_000
+	s.process(preprocess.TaggedEvent{Event: raslog.Event{Time: warnAt}, Class: 1})
+	if got := s.m.warningsTotal.Value(); got != 1 {
+		t.Fatalf("setup: expected exactly one warning, got %d", got)
+	}
+
+	// Retrain boundary: same rule set re-learned, fresh predictor swapped
+	// in. Ten seconds later — well inside the dedup interval (W_P = 300 s)
+	// and still past the elapsed threshold — the old predictor would have
+	// stayed silent; the swapped-in one must too.
+	s.swapPredictor()
+	s.process(preprocess.TaggedEvent{Event: raslog.Event{Time: warnAt + 10_000}, Class: 1})
+	if got := s.m.warningsTotal.Value(); got != 1 {
+		t.Fatalf("swapped-in predictor re-warned (total %d) off the pre-swap fatal; dedup state was lost across the swap", got)
+	}
+}
+
+// removeMiddleWAL deletes a WAL segment from the middle of the chain,
+// returning false when the chain is too short to have a strict middle.
+func removeMiddleWAL(t *testing.T, dir string) bool {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names) // the naming scheme makes lexical == logical order
+	if len(names) < 3 {
+		return false
+	}
+	if err := os.Remove(names[len(names)/2]); err != nil {
+		t.Fatal(err)
+	}
+	return true
+}
+
+// TestRecoveryRejectsWALGap pins loud failure: a WAL chain with a missing
+// middle segment must fail New, not silently replay a stream with a hole
+// in it.
+func TestRecoveryRejectsWALGap(t *testing.T) {
+	l := genLog(t, 23, 4)
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	cfg.WALRotateBytes = 4096 // force many small segments
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, s, l)
+	s.crash()
+
+	if !removeMiddleWAL(t, dir) {
+		t.Fatal("log produced fewer than 3 WAL segments; lower WALRotateBytes")
+	}
+	if _, err := New(durableConfig(dir)); err == nil {
+		t.Fatal("New over a WAL with a missing segment succeeded")
+	}
+}

@@ -1,0 +1,137 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/raslog"
+)
+
+// reorderEvent builds a minimal event with a distinct identity per index
+// so no filter stage can merge two of them.
+func reorderEvent(i int, tMs int64) raslog.Event {
+	return raslog.Event{
+		RecordID: int64(i),
+		Time:     tMs,
+		Location: fmt.Sprintf("R%02d-M0", i),
+		Entry:    fmt.Sprintf("entry %d", i),
+	}
+}
+
+// drainOrder feeds events in the given arrival order and returns the
+// RecordIDs in the order the collector released them.
+func drainOrder(t *testing.T, cfg Config, events []raslog.Event) []int64 {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, s, &raslog.Log{Events: events})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, len(s.history))
+	for i, te := range s.history {
+		out[i] = te.RecordID
+	}
+	return out
+}
+
+// TestReorderEqualTimestampsKeepArrivalOrder pins the sequencer's tie
+// rule: events sharing a timestamp must be released in arrival order
+// (a stable sort), regardless of what else is interleaved in the buffer.
+func TestReorderEqualTimestampsKeepArrivalOrder(t *testing.T) {
+	cfg := Defaults()
+	cfg.Filter.Threshold = 0 // keep every event: the test reads history order
+	cfg.InitialTrain = 10000 * week
+	cfg.ReorderWindow = time.Minute
+
+	const T = int64(1_000_000_000_000)
+	arrival := []raslog.Event{
+		reorderEvent(0, T+10), // arrives first but sorts after the tied run
+		reorderEvent(1, T),
+		reorderEvent(2, T),
+		reorderEvent(3, T),
+		reorderEvent(4, T+5),
+		reorderEvent(5, T),    // same timestamp again, later arrival
+		reorderEvent(6, T+10), // ties with RecordID 0, later arrival
+	}
+	got := drainOrder(t, cfg, arrival)
+	want := []int64{1, 2, 3, 5, 4, 0, 6} // time-sorted; ties by arrival
+	if len(got) != len(want) {
+		t.Fatalf("released %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("release order %v, want %v (equal timestamps must keep arrival order)", got, want)
+		}
+	}
+}
+
+// TestReorderOverflowCountsExactlyOne pins the overflow accounting: an
+// event forced out early by the buffer cap increments exactly one
+// counter — late_dropped when it is already behind the emitted floor,
+// reorder_overflow otherwise. Never both, never neither.
+func TestReorderOverflowCountsExactlyOne(t *testing.T) {
+	cfg := Defaults()
+	cfg.Filter.Threshold = 0
+	cfg.InitialTrain = 10000 * week
+	cfg.ReorderWindow = time.Minute
+	cfg.ReorderLimit = 4
+
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const T = int64(1_000_000_000_000)
+	// Five in-tolerance events overfill the limit-4 buffer: the first
+	// release is forced by the cap alone, while the event is still well
+	// inside the 60 s tolerance.
+	feed := []raslog.Event{
+		reorderEvent(0, T+1000),
+		reorderEvent(1, T+2000),
+		reorderEvent(2, T+3000),
+		reorderEvent(3, T+4000),
+		reorderEvent(4, T+5000), // forces out RecordID 0 -> overflow
+		reorderEvent(5, T+6000), // forces out RecordID 1 -> overflow
+		reorderEvent(6, T+500),  // behind the emitted floor: forced out as late, NOT overflow
+		reorderEvent(7, T+7000), // forces out RecordID 2 -> overflow
+	}
+	ingestAll(t, s, &raslog.Log{Events: feed})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.ReorderOverflow != 3 {
+		t.Errorf("reorder_overflow = %d, want 3", st.ReorderOverflow)
+	}
+	if st.LateDropped != 1 {
+		t.Errorf("late_dropped = %d, want 1", st.LateDropped)
+	}
+	if st.Sequenced != int64(len(feed))-1 {
+		t.Errorf("sequenced = %d, want %d", st.Sequenced, len(feed)-1)
+	}
+	// Exactly-one invariant, aggregate form: every ingested event is
+	// sequenced or late-dropped; overflow releases are a subset of the
+	// sequenced, not a third bucket.
+	if st.Ingested != st.Sequenced+st.LateDropped {
+		t.Errorf("ingested %d != sequenced %d + late_dropped %d after drain",
+			st.Ingested, st.Sequenced, st.LateDropped)
+	}
+	if st.ReorderOverflow > st.Sequenced {
+		t.Errorf("reorder_overflow %d exceeds sequenced %d: overflow releases double-counted",
+			st.ReorderOverflow, st.Sequenced)
+	}
+
+	// The released stream must still be time-sorted despite the forced
+	// early releases.
+	var prev int64 = -1 << 62
+	for i, te := range s.history {
+		if te.Time < prev {
+			t.Fatalf("history not time-sorted at %d: %d after %d", i, te.Time, prev)
+		}
+		prev = te.Time
+	}
+}

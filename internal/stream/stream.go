@@ -47,6 +47,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/learner"
 	"repro/internal/meta"
+	"repro/internal/persist"
 	"repro/internal/predictor"
 	"repro/internal/preprocess"
 	"repro/internal/raslog"
@@ -95,6 +96,29 @@ type Config struct {
 	// WarningsKeep is how many recent warnings GET /warnings can serve.
 	// Zero means 256.
 	WarningsKeep int
+
+	// StateDir enables durable state — snapshots plus a write-ahead log
+	// rooted at this directory (see internal/persist and DESIGN.md §9).
+	// On New, the newest valid snapshot is loaded and the WAL tail is
+	// replayed through the pipeline before intake starts; empty disables
+	// persistence entirely.
+	StateDir string
+	// WALFlushEvery pushes the WAL write buffer to the OS every this many
+	// records (persist.Options.FlushEvery). Zero means 64; 1 makes every
+	// sequenced event durable against process death at an obvious
+	// throughput cost.
+	WALFlushEvery int
+	// WALRotateBytes is the WAL segment rotation size. Zero means 8 MiB.
+	WALRotateBytes int64
+	// SyncRetrain runs (re)training inline on the collector goroutine
+	// instead of in the background. Ingestion stalls for the duration of
+	// a pass, but the predictor swap then lands at a deterministic stream
+	// position — which is what makes a crashed-and-recovered run
+	// byte-identical to an uninterrupted one (WAL replay always trains
+	// inline, so only a service that also *ran* synchronously can be
+	// reproduced exactly; an async service recovers to an equivalent
+	// state whose swap points may differ by a few events).
+	SyncRetrain bool
 }
 
 // Defaults returns the paper's parameters: 300 s filter threshold,
@@ -187,10 +211,30 @@ type Service struct {
 
 	pr        atomic.Pointer[predictor.Predictor]
 	lastFatal atomic.Int64
+	// lastWarn mirrors the live predictor's per-family dedup marks (every
+	// emitted warning passes through process), so a swapped-in predictor
+	// can be seeded without touching the old one across goroutines.
+	lastWarn [3]atomic.Int64
 
 	seqCh     chan raslog.Event
 	shardChs  []chan seqEvent
 	collectCh chan shardOut
+
+	// Durable-state plumbing; all nil/zero when StateDir is empty.
+	// spatial and next live on the Service (not as collector locals) so
+	// snapshots and WAL replay share the collector's exact state.
+	store       *persist.Store
+	spatial     *preprocess.SpatialStage
+	tempMirror  *preprocess.TemporalStage // collector-side mirror of the shard stages
+	tempSeed    []preprocess.TemporalEntry
+	next        uint64 // collector position: next sequence to release
+	afterTemp   int64  // cut-consistent tally of temporal-filter survivors
+	seqStart    uint64 // sequencer resume position after recovery
+	seqTimeSeed int64  // sequencer lastEmitted/maxSeen seed after recovery
+	replaying   bool
+	snapPending atomic.Bool
+	recovery    RecoveryInfo
+	finalSnap   sync.Once
 
 	closeMu sync.RWMutex
 	closed  bool
@@ -230,16 +274,30 @@ func New(cfg Config) (*Service, error) {
 		repo:      meta.NewRepository(),
 		zer:       preprocess.NewCategorizer(preprocess.NewCatalog()),
 		setCache:  learner.NewEventSetCache(),
+		spatial:   preprocess.NewSpatialStage(full.Filter),
 		seqCh:     make(chan raslog.Event, full.QueueLen),
 		shardChs:  make([]chan seqEvent, full.Shards),
 		collectCh: make(chan shardOut, full.QueueLen),
 		done:      make(chan struct{}),
 	}
 	s.lastFatal.Store(-1)
+	for i := range s.lastWarn {
+		s.lastWarn[i].Store(-1)
+	}
+	s.seqTimeSeed = -1 << 62
 	for i := range s.shardChs {
 		s.shardChs[i] = make(chan seqEvent, full.QueueLen)
 	}
 	s.m = newMetrics(s) // after the channels: queue gauges read them
+
+	if full.StateDir != "" {
+		// Recovery runs before any pipeline goroutine exists: the snapshot
+		// is restored and the WAL tail replayed serially through the same
+		// stage logic, then intake resumes where the durable log ends.
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
 
 	go s.sequencer()
 	var shardWG sync.WaitGroup
@@ -286,7 +344,17 @@ func (s *Service) Close() error {
 	s.closeMu.Unlock()
 	<-s.done
 	s.retrainWG.Wait()
-	return nil
+	var err error
+	if s.store != nil {
+		// Graceful shutdown snapshots the fully-drained state, so the next
+		// start replays no WAL at all. After crash() the store is dead and
+		// both calls are no-ops — that is the point of the simulation.
+		s.finalSnap.Do(func() {
+			s.writeSnapshot()
+			err = s.store.Close()
+		})
+	}
+	return err
 }
 
 // ---------------------------------------------------------------------------
@@ -318,21 +386,41 @@ func (h *eventHeap) Pop() interface{} {
 
 func (s *Service) sequencer() {
 	var (
-		buf         eventHeap
-		arrival     uint64
-		seq         uint64
-		maxSeen     = int64(-1 << 62)
-		lastEmitted = int64(-1 << 62)
+		buf     eventHeap
+		arrival uint64
+		// After recovery, sequence numbers continue where the durable WAL
+		// ends and the time floor continues at the recovered watermark, so
+		// re-fed events are neither double-logged nor mistaken for late.
+		seq         = s.seqStart
+		maxSeen     = s.seqTimeSeed
+		lastEmitted = s.seqTimeSeed
 	)
 	tolMs := s.cfg.ReorderWindow.Milliseconds()
 
-	emit := func(e raslog.Event) {
+	// emit releases one event from the buffer. overflow marks a release
+	// forced by the buffer cap alone (not yet past the tolerance): such an
+	// event increments exactly one counter — lateDropped when it is behind
+	// the emitted floor, reorderOverflow otherwise.
+	emit := func(e raslog.Event, overflow bool) {
 		if e.Time < lastEmitted {
 			s.m.lateDropped.Inc()
 			return
 		}
+		if overflow {
+			s.m.reorderOverflow.Inc()
+		}
 		lastEmitted = e.Time
 		se := seqEvent{seq: seq, e: e}
+		if s.store != nil {
+			// WAL-before-processing: once a sequence number is visible
+			// downstream, its event is in the log (buffered at least), so a
+			// snapshot cut at the collector can always replay forward.
+			if n, err := s.store.Append(se.seq, e); err != nil {
+				s.m.walErrors.Inc()
+			} else {
+				s.m.walBytes.Add(int64(n))
+			}
+		}
 		seq++
 		s.m.sequenced.Inc()
 		s.shardChs[shardOf(e.Location, len(s.shardChs))] <- se
@@ -346,14 +434,15 @@ func (s *Service) sequencer() {
 		heap.Push(&buf, heapEntry{e: e, arrival: arrival})
 		arrival++
 		for len(buf) > 0 && (len(buf) > s.cfg.ReorderLimit || buf[0].e.Time <= maxSeen-tolMs) {
-			emit(heap.Pop(&buf).(heapEntry).e)
+			overflow := len(buf) > s.cfg.ReorderLimit && buf[0].e.Time > maxSeen-tolMs
+			emit(heap.Pop(&buf).(heapEntry).e, overflow)
 		}
 		s.m.reorderDepth.Set(float64(len(buf)))
 		s.m.seqLatency.Since(t0)
 	}
 	// Intake closed: flush the buffer in order.
 	for len(buf) > 0 {
-		emit(heap.Pop(&buf).(heapEntry).e)
+		emit(heap.Pop(&buf).(heapEntry).e, false)
 	}
 	s.m.reorderDepth.Set(0)
 	for _, ch := range s.shardChs {
@@ -374,6 +463,18 @@ func shardOf(location string, n int) int {
 func (s *Service) shard(i int, wg *sync.WaitGroup) {
 	defer wg.Done()
 	temporal := preprocess.NewTemporalStage(s.cfg.Filter)
+	if len(s.tempSeed) > 0 {
+		// Recovery: re-split the snapshot's global temporal state across
+		// the shards (a location is pinned to one shard, so each key has
+		// exactly one home).
+		rows := make([]preprocess.TemporalEntry, 0, len(s.tempSeed)/len(s.shardChs)+1)
+		for _, row := range s.tempSeed {
+			if shardOf(row.Location, len(s.shardChs)) == i {
+				rows = append(rows, row)
+			}
+		}
+		temporal.Restore(rows)
+	}
 	for se := range s.shardChs[i] {
 		t0 := time.Now()
 		out := shardOut{seq: se.seq}
@@ -396,24 +497,35 @@ func (s *Service) shard(i int, wg *sync.WaitGroup) {
 
 func (s *Service) collector() {
 	defer close(s.done)
-	spatial := preprocess.NewSpatialStage(s.cfg.Filter)
 	pending := make(map[uint64]shardOut)
-	var next uint64
 	for out := range s.collectCh {
 		pending[out.seq] = out
 		for {
-			o, ok := pending[next]
+			o, ok := pending[s.next]
 			if !ok {
 				break
 			}
-			delete(pending, next)
-			next++
+			delete(pending, s.next)
+			s.next++
 			t0 := time.Now()
 			s.advance(o.te.Time)
-			if o.kept && spatial.Observe(o.te.Event) {
+			if s.tempMirror != nil {
+				// Track the shards' temporal decisions so a snapshot can carry
+				// one consistent global filter state (see preprocess.Record).
+				s.tempMirror.Record(o.te.Event, o.kept)
+			}
+			if o.kept {
+				s.afterTemp++
+			}
+			if o.kept && s.spatial.Observe(o.te.Event) {
 				s.process(o.te)
 			}
 			s.maybeRetrain()
+			if s.store != nil && s.snapPending.CompareAndSwap(true, false) {
+				// A training pass completed (inline or in the background):
+				// snapshot on the collector, where the cut at s.next is exact.
+				s.writeSnapshot()
+			}
 			s.m.collectLatency.Since(t0)
 		}
 	}
@@ -444,6 +556,13 @@ func (s *Service) process(te preprocess.TaggedEvent) {
 	if te.Fatal {
 		s.m.fatals.Inc()
 		s.lastFatal.Store(te.Time)
+	}
+
+	for _, w := range warns {
+		// Keep the dedup mirror current (see the lastWarn field comment).
+		if i := int(w.Source); i >= 0 && i < len(s.lastWarn) && w.Time > s.lastWarn[i].Load() {
+			s.lastWarn[i].Store(w.Time)
+		}
 	}
 
 	s.mu.Lock()
@@ -503,7 +622,15 @@ func (s *Service) maybeRetrain() {
 	}
 	s.mu.Unlock()
 	s.retrainWG.Add(1)
-	go s.retrain(at, from, snapshot)
+	if s.cfg.SyncRetrain || s.replaying {
+		// Inline on the caller (the collector, or recovery's replay loop):
+		// the swap lands at a deterministic stream position. WAL replay must
+		// train inline regardless of configuration — the events that would
+		// have fed a background pass are being replayed synchronously.
+		s.retrain(at, from, snapshot)
+	} else {
+		go s.retrain(at, from, snapshot)
+	}
 }
 
 // snapshotTrainingSet copies the policy's training slice ending at the
@@ -545,6 +672,12 @@ func (s *Service) retrain(at, from int64, snapshot []preprocess.TaggedEvent) Ret
 		rec.Retraining = rt
 		s.swapPredictor()
 		s.m.training.Record(rt)
+		if s.store != nil && !s.replaying {
+			// Ask the collector to snapshot at its next release point; during
+			// replay the WAL files are being read, so snapshotting (which
+			// truncates them) waits until recovery finishes.
+			s.snapPending.Store(true)
+		}
 	}
 	s.mu.Lock()
 	s.retrains = append(s.retrains, rec)
@@ -575,6 +708,11 @@ func (s *Service) swapPredictor() {
 	if lf := s.lastFatal.Load(); lf >= 0 {
 		pr.SeedLastFatal(lf)
 	}
+	// Seed the dedup marks from the service-level mirror, not from the old
+	// predictor (which the collector may be mutating concurrently). Without
+	// this, seeding lastFatal alone re-arms the distribution expert and it
+	// re-warns off the pre-swap fatal — TestSwapPredictorKeepsWarnSpacing.
+	pr.SeedLastWarn([3]int64{s.lastWarn[0].Load(), s.lastWarn[1].Load(), s.lastWarn[2].Load()})
 	s.pr.Store(pr)
 	s.m.rules.Set(float64(len(rules)))
 }
@@ -666,6 +804,10 @@ type Stats struct {
 	Ingested    int64 `json:"ingested"`
 	Sequenced   int64 `json:"sequenced"`
 	LateDropped int64 `json:"late_dropped"`
+	// ReorderOverflow counts events released early by the buffer cap while
+	// still inside the reorder tolerance (disjoint from LateDropped: a
+	// forced release increments exactly one of the two).
+	ReorderOverflow int64 `json:"reorder_overflow"`
 	// AfterTemporal / Processed are the filter's per-stage survivors;
 	// CompressionRate is 1 - Processed/Sequenced.
 	AfterTemporal   int64   `json:"after_temporal"`
@@ -683,6 +825,9 @@ type Stats struct {
 	NextRetrain int64           `json:"next_retrain_ms"`
 	Queues      QueueDepths     `json:"queues"`
 	Retrains    []RetrainRecord `json:"retrains"`
+	// Recovery describes the startup recovery pass; nil when the service
+	// started without a StateDir or with an empty one.
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
 }
 
 // Stats snapshots the service's instruments — the same registry GET
@@ -692,17 +837,18 @@ type Stats struct {
 // Sequenced); each number is accurate.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Ingested:      s.m.ingested.Value(),
-		Sequenced:     s.m.sequenced.Value(),
-		LateDropped:   s.m.lateDropped.Value(),
-		AfterTemporal: s.m.afterTemporal.Value(),
-		Processed:     s.m.processed.Value(),
-		Fatals:        s.m.fatals.Value(),
-		WarningsTotal: s.m.warningsTotal.Value(),
-		Rules:         int64(s.m.rules.Value()),
-		Retraining:    s.retraining.Load(),
-		StreamStart:   s.streamStartMs(),
-		Watermark:     s.watermarkMs(),
+		Ingested:        s.m.ingested.Value(),
+		Sequenced:       s.m.sequenced.Value(),
+		LateDropped:     s.m.lateDropped.Value(),
+		ReorderOverflow: s.m.reorderOverflow.Value(),
+		AfterTemporal:   s.m.afterTemporal.Value(),
+		Processed:       s.m.processed.Value(),
+		Fatals:          s.m.fatals.Value(),
+		WarningsTotal:   s.m.warningsTotal.Value(),
+		Rules:           int64(s.m.rules.Value()),
+		Retraining:      s.retraining.Load(),
+		StreamStart:     s.streamStartMs(),
+		Watermark:       s.watermarkMs(),
 		Queues: QueueDepths{
 			Sequencer: len(s.seqCh),
 			Reorder:   int(s.m.reorderDepth.Value()),
@@ -720,5 +866,9 @@ func (s *Service) Stats() Stats {
 	st.NextRetrain = s.nextRetrainMs()
 	st.Retrains = append([]RetrainRecord(nil), s.retrains...)
 	s.mu.Unlock()
+	if s.store != nil {
+		r := s.recovery
+		st.Recovery = &r
+	}
 	return st
 }

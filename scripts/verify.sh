@@ -11,11 +11,13 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test ./..."
 go test ./...
-echo "== go test -race -count=1 ./internal/stream ./internal/predictor ./internal/obsv"
+echo "== go test -race -count=1 ./internal/stream ./internal/predictor ./internal/obsv ./internal/persist"
 # -count=1 defeats the test cache: the concurrency-critical packages
-# (pipeline, predictor swap, metrics registry) re-run under the race
-# detector every time, even when nothing changed.
-go test -race -count=1 ./internal/stream ./internal/predictor ./internal/obsv
+# (pipeline, predictor swap, metrics registry, durable state) re-run
+# under the race detector every time, even when nothing changed.
+go test -race -count=1 ./internal/stream ./internal/predictor ./internal/obsv ./internal/persist
 echo "== go test -race ./..."
 go test -race ./...
+echo "== scripts/smoke_restart.sh"
+sh scripts/smoke_restart.sh
 echo "verify: OK"
