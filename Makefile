@@ -13,9 +13,9 @@ test: build
 verify:
 	sh scripts/verify.sh
 
-# Component benchmarks of the training pipeline, snapshotted to
-# BENCH_2.json (see scripts/bench.sh; BENCHTIME=20x make bench for
-# steadier numbers).
+# Component benchmarks of the training pipeline and the serving hot
+# path, snapshotted to BENCH_5.json (see scripts/bench.sh;
+# BENCHTIME=20x make bench for steadier numbers).
 bench:
 	sh scripts/bench.sh
 

@@ -1,7 +1,8 @@
 // Livefeed: an end-to-end client for cmd/serve. It generates a synthetic
 // SDSC Blue Gene/L RAS log and pipes it into the daemon over HTTP in
 // real-time-compressed mode — weeks of stream time replayed in seconds of
-// wall time, one batched POST /ingest per chunk — while polling
+// wall time, one POST /ingest/batch per chunk, so the daemon commits each
+// chunk to its WAL with a single group-commit fsync — while polling
 // GET /warnings and GET /stats like a monitoring dashboard would.
 //
 // Pair it with a daemon whose training windows fit the feed length:
@@ -35,7 +36,7 @@ func main() {
 	seed := flag.Uint64("seed", 7, "generator seed")
 	weeks := flag.Int("weeks", 14, "length of the generated feed in weeks")
 	scale := flag.Float64("scale", 0.05, "raw duplication scale (full SDSC = 1)")
-	batch := flag.Int("batch", 2000, "events per POST /ingest")
+	batch := flag.Int("batch", 2000, "events per POST /ingest/batch")
 	pause := flag.Duration("pause", 50*time.Millisecond, "pause between batches")
 	flag.Parse()
 
@@ -140,12 +141,13 @@ const (
 	retryCap  = 8
 )
 
-// postBatch sends lines to POST /ingest, riding out transient failures:
-// network errors retry the remaining lines with backoff, and a 503
-// (backpressure timeout or restarting daemon) resumes from the line the
-// response says the daemon stopped at, so already-accepted events are not
-// ingested twice. A 400 means the batch itself is malformed — fatal.
-// Returns the number of events the daemon accepted.
+// postBatch sends lines to POST /ingest/batch, riding out transient
+// failures: network errors retry the remaining lines with backoff, and a
+// 503 (backpressure timeout or restarting daemon) resumes from the line
+// the response says the daemon stopped at — the batch endpoint accepts
+// whole chunks, so Line is always the first unconsumed input line and
+// already-accepted events are not ingested twice. A 400 means the batch
+// itself is malformed — fatal. Returns the number of events accepted.
 func postBatch(addr string, lines []string) (int, error) {
 	accepted := 0
 	failures := 0
@@ -162,7 +164,7 @@ func postBatch(addr string, lines []string) (int, error) {
 			}
 		}
 		body := strings.NewReader(strings.Join(lines, "\n") + "\n")
-		resp, err := http.Post(addr+"/ingest", "text/plain", body)
+		resp, err := http.Post(addr+"/ingest/batch", "text/plain", body)
 		if err != nil {
 			// Connection-level failure: the response is lost, so re-send the
 			// remaining lines (at-least-once; the slice was not trimmed).

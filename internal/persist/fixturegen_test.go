@@ -1,0 +1,79 @@
+package persist_test
+
+// Temporary generator for testdata/prebatch — run once with the
+// pre-batch writer, then deleted. Kept events must match the
+// fixtureEvents helper in compat_test.go.
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/persist"
+	"repro/internal/preprocess"
+	"repro/internal/raslog"
+)
+
+func TestGenerateFixture(t *testing.T) {
+	if os.Getenv("GEN_FIXTURE") == "" {
+		t.Skip("set GEN_FIXTURE=1 to regenerate")
+	}
+	dir := "testdata/prebatch"
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	st, err := persist.Open(dir, persist.Options{FlushEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.StartAppend(0); err != nil {
+		t.Fatal(err)
+	}
+	events := genFixtureEvents()
+	for i, e := range events {
+		if _, err := st.Append(uint64(i), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := &persist.Snapshot{
+		Seq:           6,
+		StreamStartMs: events[0].Time,
+		WatermarkMs:   events[5].Time,
+		NextRetrainMs: events[0].Time + 1000000,
+		LastFatalMs:   events[3].Time,
+		Counters: persist.Counters{
+			Sequenced:     6,
+			AfterTemporal: 5,
+			Processed:     4,
+			Fatals:        1,
+		},
+		Temporal: []preprocess.TemporalEntry{
+			{Location: "R01-M0-N4-C:J12-U01", JobID: 7, Entry: "ddr error", LastMs: events[4].Time},
+			{Location: "R23-M1-NC-I:J18-U11", JobID: 0, Entry: "link fault", LastMs: events[5].Time},
+		},
+		Spatial: []preprocess.SpatialEntry{
+			{JobID: 7, Entry: "ddr error", Location: "R01-M0-N4-C:J12-U01", LastMs: events[4].Time},
+		},
+	}
+	if _, err := st.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func genFixtureEvents() []raslog.Event {
+	base := int64(1136073600000) // 2006-01-01 00:00:00 UTC
+	return []raslog.Event{
+		{RecordID: 1, Type: "RAS", Time: base, JobID: 7, Location: "R01-M0-N4-C:J12-U01", Entry: "ddr error", Facility: raslog.Kernel, Severity: raslog.Error},
+		{RecordID: 2, Type: "RAS", Time: base + 1000, JobID: 7, Location: "R01-M0-N4-C:J12-U01", Entry: "ddr error", Facility: raslog.Kernel, Severity: raslog.Error},
+		{RecordID: 3, Type: "RAS", Time: base + 2000, JobID: 0, Location: "R23-M1-NC-I:J18-U11", Entry: "link fault", Facility: raslog.LinkCard, Severity: raslog.Warning},
+		{RecordID: 4, Type: "RAS", Time: base + 400000, JobID: 7, Location: "R01-M0-N4-C:J12-U01", Entry: "rts panic", Facility: raslog.Kernel, Severity: raslog.Fatal},
+		{RecordID: 5, Type: "RAS", Time: base + 401000, JobID: 7, Location: "R01-M0-N4-C:J12-U01", Entry: "ddr error", Facility: raslog.Kernel, Severity: raslog.Error},
+		{RecordID: 6, Type: "RAS", Time: base + 402000, JobID: 0, Location: "R23-M1-NC-I:J18-U11", Entry: "link fault", Facility: raslog.LinkCard, Severity: raslog.Warning},
+		{RecordID: 7, Type: "RAS", Time: base + 800000, JobID: 9, Location: "R00-M1-N8-C:J05-U11", Entry: "idoproxydb hit ASSERT condition", Facility: raslog.MMCS, Severity: raslog.Severe},
+		{RecordID: 8, Type: "RAS", Time: base + 801000, JobID: 9, Location: "R00-M1-N8-C:J05-U11", Entry: "", Facility: raslog.App, Severity: raslog.Info},
+		{RecordID: 9, Type: "RAS", Time: base + 802000, JobID: 0, Location: "", Entry: "power module status fault", Facility: raslog.Monitor, Severity: raslog.Failure},
+		{RecordID: 10, Type: "RAS", Time: base + 900000, JobID: 9, Location: "R00-M1-N8-C:J05-U11", Entry: "ciod: LOGIN chdir failed", Facility: raslog.App, Severity: raslog.Failure},
+	}
+}

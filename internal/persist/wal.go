@@ -142,8 +142,10 @@ func (d *eventDecoder) str() string {
 	return s
 }
 
-func decodeEvent(b []byte) (raslog.Event, error) {
-	d := eventDecoder{buf: b}
+// event decodes one event from the front of the buffer. A frame payload
+// may concatenate several encodings (AppendBatch's group commit), so the
+// caller loops until the buffer is empty.
+func (d *eventDecoder) event() (raslog.Event, error) {
 	var e raslog.Event
 	e.RecordID = d.varint()
 	e.Time = d.varint()
@@ -153,10 +155,16 @@ func decodeEvent(b []byte) (raslog.Event, error) {
 	e.Type = d.str()
 	e.Location = d.str()
 	e.Entry = d.str()
-	if d.err == nil && len(d.buf) != 0 {
-		d.err = errors.New("persist: trailing bytes in event record")
-	}
 	return e, d.err
+}
+
+func decodeEvent(b []byte) (raslog.Event, error) {
+	d := eventDecoder{buf: b}
+	e, err := d.event()
+	if err == nil && len(d.buf) != 0 {
+		err = errors.New("persist: trailing bytes in event record")
+	}
+	return e, err
 }
 
 // Replay streams every durable WAL record with sequence >= from to fn,
@@ -216,18 +224,24 @@ func replaySegment(path string, firstSeq, from, stop uint64, fn func(seq uint64,
 		if err != nil {
 			return 0, fmt.Errorf("persist: %s: %w", path, err)
 		}
-		e, err := decodeEvent(payload)
-		if err != nil {
-			// A frame that passes its CRC but does not decode is not a torn
-			// tail; it means the writer and reader disagree. Fail loudly.
-			return 0, fmt.Errorf("persist: %s: record %d: %w", path, seq, err)
-		}
-		if seq >= from {
-			if err := fn(seq, e); err != nil {
-				return 0, err
+		// A frame holds one event (Append) or a whole batch's worth
+		// back-to-back (AppendBatch); a single-record frame is the
+		// degenerate batch, so pre-batch segments decode identically.
+		d := eventDecoder{buf: payload}
+		for len(d.buf) > 0 && seq < stop {
+			e, derr := d.event()
+			if derr != nil {
+				// A frame that passes its CRC but does not decode is not a torn
+				// tail; it means the writer and reader disagree. Fail loudly.
+				return 0, fmt.Errorf("persist: %s: record %d: %w", path, seq, derr)
 			}
+			if seq >= from {
+				if err := fn(seq, e); err != nil {
+					return 0, err
+				}
+			}
+			seq++
 		}
-		seq++
 	}
 	return seq, nil
 }

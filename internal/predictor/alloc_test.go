@@ -1,0 +1,49 @@
+package predictor
+
+import (
+	"testing"
+
+	"repro/internal/learner"
+	"repro/internal/preprocess"
+	"repro/internal/stats"
+)
+
+// TestObserveAllocBudget pins the steady-state observe path to zero
+// allocations: evict/admit move ring indexes, matching probes dense
+// tables, and a Warning is only materialized when one is emitted —
+// which the dedup window makes rare. The measured loop triggers no
+// warnings (the common case).
+func TestObserveAllocBudget(t *testing.T) {
+	dist, err := stats.NewExponential(3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := []learner.Rule{
+		{Kind: learner.Association, Body: []int{3, 5}, Target: 40, Confidence: 0.9, Support: 0.1},
+		{Kind: learner.Statistical, Count: 3, Confidence: 0.8},
+		{Kind: learner.Distribution, ElapsedSec: 1 << 40, Dist: dist},
+	}
+	pr := New(rules, learner.Params{WindowSec: 300})
+
+	// Warm: fill the window past its steady-state size so the rings and
+	// the dense class table have grown to capacity.
+	now := int64(0)
+	for i := 0; i < 4096; i++ {
+		now += 100
+		te := preprocess.TaggedEvent{Class: 3 + i%2}
+		te.Time = now
+		pr.Observe(te)
+	}
+
+	allocs := testing.AllocsPerRun(2000, func() {
+		now += 100
+		te := preprocess.TaggedEvent{Class: 7, Fatal: false}
+		te.Time = now
+		if w := pr.Observe(te); w != nil {
+			t.Fatalf("unexpected warning %v", w)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f times per event, want 0", allocs)
+	}
+}

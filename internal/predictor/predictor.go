@@ -46,15 +46,20 @@ type Predictor struct {
 	windowMs int64
 	rules    []learner.Rule
 
-	eList     map[int][]int // class -> indexes of association rules using it
-	statRules []int         // indexes of statistical rules, ascending k
-	distRules []int         // indexes of distribution rules
+	// eList is Algorithm 2's E-List as a dense table: eList[class] holds
+	// the association rules whose body contains class. Event classes are
+	// small ints (catalog IDs plus the bounded unknown-class range), so
+	// indexing replaces the per-event map probe of the string era.
+	eList     [][]int
+	statRules []int // indexes of statistical rules, ascending k
+	distRules []int // indexes of distribution rules
 
-	// Sliding window of recent events (Algorithm 2 step 1).
-	recent     []recentEvent
-	classCount map[int]int // class -> multiplicity within the window
-	fatalTimes []int64     // fatal timestamps within the window
-	lastFatal  int64       // ms; -1 until the first fatal is seen
+	// Sliding window of recent events (Algorithm 2 step 1), held in rings
+	// so steady-state admit/evict moves indexes instead of copying slices.
+	recent     recentRing
+	classCount []int32   // class -> multiplicity within the window, dense
+	fatalTimes timeRing  // fatal timestamps within the window
+	lastFatal  int64     // ms; -1 until the first fatal is seen
 
 	// lastWarn deduplicates per expert family: at most one open warning
 	// per family at a time. Families are deduplicated independently so a
@@ -80,16 +85,84 @@ type recentEvent struct {
 	fatal bool
 }
 
+// recentRing is a growable circular buffer of window entries: admit
+// pushes at the tail, evict pops from the head, and neither moves the
+// remaining entries — the slice-copy per eviction of the append-based
+// window is gone from the hot path.
+type recentRing struct {
+	buf  []recentEvent
+	head int
+	n    int
+}
+
+func (r *recentRing) push(e recentEvent) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = e
+	r.n++
+}
+
+func (r *recentRing) grow() {
+	nb := make([]recentEvent, max(8, 2*len(r.buf))) // power of two, for mask indexing
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.at(i)
+	}
+	r.buf, r.head = nb, 0
+}
+
+func (r *recentRing) at(i int) recentEvent { return r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+func (r *recentRing) popFront() {
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+}
+
+func (r *recentRing) reset() { r.head, r.n = 0, 0 }
+
+// timeRing is the same structure for the fatal-timestamp window.
+type timeRing struct {
+	buf  []int64
+	head int
+	n    int
+}
+
+func (r *timeRing) push(t int64) {
+	if r.n == len(r.buf) {
+		nb := make([]int64, max(8, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf, r.head = nb, 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = t
+	r.n++
+}
+
+func (r *timeRing) front() int64 { return r.buf[r.head] }
+
+func (r *timeRing) popFront() {
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+}
+
+func (r *timeRing) reset() { r.head, r.n = 0, 0 }
+
 // New builds a predictor over a rule set. The rule slice is copied.
 func New(rules []learner.Rule, p learner.Params) *Predictor {
 	pr := &Predictor{
-		windowMs:   p.Window(),
-		rules:      append([]learner.Rule(nil), rules...),
-		eList:      make(map[int][]int),
-		classCount: make(map[int]int),
-		lastFatal:  -1,
-		lastWarn:   [3]int64{-1, -1, -1},
+		windowMs:  p.Window(),
+		rules:     append([]learner.Rule(nil), rules...),
+		lastFatal: -1,
+		lastWarn:  [3]int64{-1, -1, -1},
 	}
+	maxClass := -1
+	for _, r := range pr.rules {
+		for _, class := range r.Body {
+			maxClass = max(maxClass, class)
+		}
+	}
+	pr.eList = make([][]int, maxClass+1)
 	for i, r := range pr.rules {
 		switch r.Kind {
 		case learner.Association:
@@ -106,6 +179,28 @@ func New(rules []learner.Rule, p learner.Params) *Predictor {
 		return pr.rules[pr.statRules[a]].Count < pr.rules[pr.statRules[b]].Count
 	})
 	return pr
+}
+
+// countAt returns the window multiplicity of class (0 when never seen).
+func (pr *Predictor) countAt(class int) int32 {
+	if class < 0 || class >= len(pr.classCount) {
+		return 0
+	}
+	return pr.classCount[class]
+}
+
+// countAdd adjusts the window multiplicity of class, growing the dense
+// table on first sight of a high class ID.
+func (pr *Predictor) countAdd(class int, delta int32) {
+	if class < 0 {
+		return
+	}
+	if class >= len(pr.classCount) {
+		grown := make([]int32, max(class+1, 2*len(pr.classCount)))
+		copy(grown, pr.classCount)
+		pr.classCount = grown
+	}
+	pr.classCount[class] += delta
 }
 
 // Rules returns the predictor's rule set (shared; treat as read-only).
@@ -126,9 +221,9 @@ func (pr *Predictor) SeedLastFatal(t int64) {
 // Reset clears runtime state (the recent window, elapsed-time tracking and
 // warning deduplication) without touching the rules.
 func (pr *Predictor) Reset() {
-	pr.recent = pr.recent[:0]
-	pr.classCount = make(map[int]int)
-	pr.fatalTimes = pr.fatalTimes[:0]
+	pr.recent.reset()
+	pr.classCount = nil
+	pr.fatalTimes.reset()
 	pr.lastFatal = -1
 	pr.lastWarn = [3]int64{-1, -1, -1}
 }
@@ -141,47 +236,58 @@ func (pr *Predictor) Reset() {
 func (pr *Predictor) Observe(e preprocess.TaggedEvent) []Warning {
 	pr.evict(e.Time)
 
-	var w *Warning
+	// Matchers return a rule index; the Warning itself is built only
+	// after deduplication decides one will actually be emitted, so the
+	// (overwhelmingly common) suppressed-trigger path allocates nothing.
+	ruleIdx := -1
 	if e.Fatal {
 		// Statistical rules fire on fatal events: the current failure
 		// plus the window's earlier failures form the k-run.
-		runLen := len(pr.fatalTimes) + 1
+		runLen := pr.fatalTimes.n + 1
 		for _, idx := range pr.statRules {
 			if runLen >= pr.rules[idx].Count {
-				w = pr.warning(e.Time, idx)
+				ruleIdx = idx
 				break // smallest matching k wins; others say the same thing
 			}
 		}
 	} else {
 		// Association rules fire on non-fatal events that complete a body.
-		w = pr.matchAssociation(e)
+		ruleIdx = pr.matchAssociation(e)
 	}
-	if w == nil {
-		w = pr.matchDistribution(e.Time)
+	if ruleIdx < 0 {
+		ruleIdx = pr.matchDistribution(e.Time)
 	}
 
 	pr.admit(e)
 
-	if w == nil {
+	if ruleIdx < 0 {
 		return nil
 	}
 	// Deduplicate: one open warning per dedup interval — per expert
-	// family, or across all of them under GlobalDedup.
+	// family, or across all of them under GlobalDedup. Every trigger time
+	// is the observed event's own timestamp.
 	dedupMs := pr.windowMs
 	if pr.DedupWindowSec > 0 {
 		dedupMs = pr.DedupWindowSec * 1000
 	}
+	r := &pr.rules[ruleIdx]
 	if pr.GlobalDedup {
 		for _, last := range pr.lastWarn {
-			if last >= 0 && w.Time-last < dedupMs {
+			if last >= 0 && e.Time-last < dedupMs {
 				return nil
 			}
 		}
-	} else if last := pr.lastWarn[w.Source]; last >= 0 && w.Time-last < dedupMs {
+	} else if last := pr.lastWarn[r.Kind]; last >= 0 && e.Time-last < dedupMs {
 		return nil
 	}
-	pr.lastWarn[w.Source] = w.Time
-	return []Warning{*w}
+	pr.lastWarn[r.Kind] = e.Time
+	return []Warning{{
+		Time:     e.Time,
+		Deadline: e.Time + pr.windowMs,
+		Source:   r.Kind,
+		RuleID:   r.ID(),
+		Target:   r.Target,
+	}}
 }
 
 // ObserveAll feeds a whole time-sorted stream and collects every warning.
@@ -195,83 +301,67 @@ func (pr *Predictor) ObserveAll(events []preprocess.TaggedEvent) []Warning {
 
 // matchAssociation checks whether the incoming non-fatal event completes
 // any association rule's body within the window (Algorithm 2 steps 2–4).
-func (pr *Predictor) matchAssociation(e preprocess.TaggedEvent) *Warning {
-	candidates := pr.eList[e.Class]
-	for _, idx := range candidates {
+// It returns the first matching rule's index, or -1.
+func (pr *Predictor) matchAssociation(e preprocess.TaggedEvent) int {
+	if e.Class < 0 || e.Class >= len(pr.eList) {
+		return -1 // no rule body mentions this class
+	}
+	for _, idx := range pr.eList[e.Class] {
 		rule := &pr.rules[idx]
 		matched := true
 		for _, class := range rule.Body {
 			if class == e.Class {
 				continue // the incoming event supplies this item
 			}
-			if pr.classCount[class] == 0 {
+			if pr.countAt(class) == 0 {
 				matched = false
 				break
 			}
 		}
 		if matched {
-			return pr.warning(e.Time, idx)
+			return idx
 		}
 	}
-	return nil
+	return -1
 }
 
 // matchDistribution applies the fallback expert: warn when the elapsed
 // time since the last failure pushes the fitted CDF past its threshold.
-func (pr *Predictor) matchDistribution(now int64) *Warning {
+// It returns the matching rule's index, or -1.
+func (pr *Predictor) matchDistribution(now int64) int {
 	if pr.lastFatal < 0 {
-		return nil
+		return -1
 	}
 	elapsed := (now - pr.lastFatal) / 1000
 	for _, idx := range pr.distRules {
 		if elapsed > pr.rules[idx].ElapsedSec {
-			return pr.warning(now, idx)
+			return idx
 		}
 	}
-	return nil
-}
-
-func (pr *Predictor) warning(now int64, ruleIdx int) *Warning {
-	r := &pr.rules[ruleIdx]
-	return &Warning{
-		Time:     now,
-		Deadline: now + pr.windowMs,
-		Source:   r.Kind,
-		RuleID:   r.ID(),
-		Target:   r.Target,
-	}
+	return -1
 }
 
 // evict drops window entries older than W_P before now.
 func (pr *Predictor) evict(now int64) {
-	cut := 0
-	for cut < len(pr.recent) && now-pr.recent[cut].time > pr.windowMs {
-		re := pr.recent[cut]
-		if n := pr.classCount[re.class] - 1; n > 0 {
-			pr.classCount[re.class] = n
-		} else {
-			delete(pr.classCount, re.class)
+	for pr.recent.n > 0 {
+		re := pr.recent.at(0)
+		if now-re.time <= pr.windowMs {
+			break
 		}
-		cut++
+		pr.countAdd(re.class, -1)
+		pr.recent.popFront()
 	}
-	if cut > 0 {
-		pr.recent = append(pr.recent[:0], pr.recent[cut:]...)
-	}
-	fcut := 0
-	for fcut < len(pr.fatalTimes) && now-pr.fatalTimes[fcut] > pr.windowMs {
-		fcut++
-	}
-	if fcut > 0 {
-		pr.fatalTimes = append(pr.fatalTimes[:0], pr.fatalTimes[fcut:]...)
+	for pr.fatalTimes.n > 0 && now-pr.fatalTimes.front() > pr.windowMs {
+		pr.fatalTimes.popFront()
 	}
 }
 
 // admit appends the event to the window (Algorithm 2 step 1).
 func (pr *Predictor) admit(e preprocess.TaggedEvent) {
-	pr.recent = append(pr.recent, recentEvent{time: e.Time, class: e.Class, fatal: e.Fatal})
-	pr.classCount[e.Class]++
+	pr.recent.push(recentEvent{time: e.Time, class: e.Class, fatal: e.Fatal})
+	pr.countAdd(e.Class, 1)
 	if e.Fatal {
-		pr.fatalTimes = append(pr.fatalTimes, e.Time)
+		pr.fatalTimes.push(e.Time)
 		pr.lastFatal = e.Time
 	}
 }

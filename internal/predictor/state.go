@@ -22,14 +22,17 @@ type State struct {
 	LastWarnMs  [3]int64      `json:"last_warn_ms"`
 }
 
-// ExportState captures the predictor's runtime state.
+// ExportState captures the predictor's runtime state. The window ring is
+// flattened oldest-first, so the wire format is unchanged from the
+// slice-backed era.
 func (pr *Predictor) ExportState() State {
 	st := State{
-		Recent:      make([]RecentEvent, len(pr.recent)),
+		Recent:      make([]RecentEvent, pr.recent.n),
 		LastFatalMs: pr.lastFatal,
 		LastWarnMs:  pr.lastWarn,
 	}
-	for i, re := range pr.recent {
+	for i := 0; i < pr.recent.n; i++ {
+		re := pr.recent.at(i)
 		st.Recent[i] = RecentEvent{TimeMs: re.time, Class: re.class, Fatal: re.fatal}
 	}
 	return st
@@ -38,14 +41,14 @@ func (pr *Predictor) ExportState() State {
 // RestoreState replaces the predictor's runtime state with st, rebuilding
 // the window indexes. The rule set is untouched.
 func (pr *Predictor) RestoreState(st State) {
-	pr.recent = make([]recentEvent, len(st.Recent))
-	pr.classCount = make(map[int]int, len(st.Recent))
-	pr.fatalTimes = pr.fatalTimes[:0]
-	for i, re := range st.Recent {
-		pr.recent[i] = recentEvent{time: re.TimeMs, class: re.Class, fatal: re.Fatal}
-		pr.classCount[re.Class]++
+	pr.recent.reset()
+	pr.classCount = nil
+	pr.fatalTimes.reset()
+	for _, re := range st.Recent {
+		pr.recent.push(recentEvent{time: re.TimeMs, class: re.Class, fatal: re.Fatal})
+		pr.countAdd(re.Class, 1)
 		if re.Fatal {
-			pr.fatalTimes = append(pr.fatalTimes, re.TimeMs)
+			pr.fatalTimes.push(re.TimeMs)
 		}
 	}
 	pr.lastFatal = st.LastFatalMs

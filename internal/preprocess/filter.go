@@ -44,17 +44,6 @@ type Filter struct {
 	Sliding bool
 }
 
-type tempKey struct {
-	loc   string
-	jobID int64
-	entry string
-}
-
-type spatKey struct {
-	jobID int64
-	entry string
-}
-
 // Apply filters a time-sorted log and returns the compressed log (a new
 // Log; the input is unmodified) together with per-stage statistics. It is
 // the batch form of the streaming filter in incremental.go: both feed the

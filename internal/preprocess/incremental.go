@@ -33,8 +33,19 @@ const sweepInterval = 8192
 type TemporalStage struct {
 	thresholdMs int64
 	sliding     bool
-	last        map[tempKey]int64
-	sinceSweep  int
+	// syms interns the key strings once; last then keys on a pointer-free
+	// struct the GC never scans (see symTable).
+	syms       *symTable
+	last       map[tempIKey]int64
+	sinceSweep int
+}
+
+// tempIKey is the interned form of the temporal key
+// (location, job, entry).
+type tempIKey struct {
+	loc   uint32
+	entry uint32
+	jobID int64
 }
 
 // NewTemporalStage returns a streaming temporal compressor with the
@@ -43,7 +54,8 @@ func NewTemporalStage(f Filter) *TemporalStage {
 	return &TemporalStage{
 		thresholdMs: f.Threshold * 1000,
 		sliding:     f.Sliding,
-		last:        make(map[tempKey]int64, 256),
+		syms:        newSymTable(),
+		last:        make(map[tempIKey]int64, 256),
 	}
 }
 
@@ -54,7 +66,7 @@ func (t *TemporalStage) Observe(e raslog.Event) bool {
 		return true
 	}
 	t.maybeSweep(e.Time)
-	k := tempKey{e.Location, e.JobID, e.Entry}
+	k := tempIKey{loc: t.syms.id(e.Location), entry: t.syms.id(e.Entry), jobID: e.JobID}
 	if last, seen := t.last[k]; seen && e.Time-last <= t.thresholdMs {
 		if t.sliding {
 			t.last[k] = e.Time
@@ -89,13 +101,20 @@ func (t *TemporalStage) maybeSweep(now int64) {
 type SpatialStage struct {
 	thresholdMs int64
 	sliding     bool
-	last        map[spatKey]spatState
+	syms        *symTable
+	last        map[spatIKey]spatState
 	sinceSweep  int
+}
+
+// spatIKey is the interned form of the spatial key (job, entry).
+type spatIKey struct {
+	entry uint32
+	jobID int64
 }
 
 type spatState struct {
 	time int64
-	loc  string
+	loc  uint32
 }
 
 // NewSpatialStage returns a streaming spatial compressor with the filter's
@@ -104,7 +123,8 @@ func NewSpatialStage(f Filter) *SpatialStage {
 	return &SpatialStage{
 		thresholdMs: f.Threshold * 1000,
 		sliding:     f.Sliding,
-		last:        make(map[spatKey]spatState, 256),
+		syms:        newSymTable(),
+		last:        make(map[spatIKey]spatState, 256),
 	}
 }
 
@@ -115,14 +135,15 @@ func (s *SpatialStage) Observe(e raslog.Event) bool {
 		return true
 	}
 	s.maybeSweep(e.Time)
-	k := spatKey{e.JobID, e.Entry}
-	if st, seen := s.last[k]; seen && e.Time-st.time <= s.thresholdMs && st.loc != e.Location {
+	k := spatIKey{entry: s.syms.id(e.Entry), jobID: e.JobID}
+	loc := s.syms.id(e.Location)
+	if st, seen := s.last[k]; seen && e.Time-st.time <= s.thresholdMs && st.loc != loc {
 		if s.sliding {
 			s.last[k] = spatState{e.Time, st.loc}
 		}
 		return false
 	}
-	s.last[k] = spatState{e.Time, e.Location}
+	s.last[k] = spatState{e.Time, loc}
 	return true
 }
 

@@ -28,11 +28,13 @@ type TemporalEntry struct {
 	LastMs int64 `json:"last_ms"`
 }
 
-// Export returns the stage's resident keys, sorted.
+// Export returns the stage's resident keys, sorted. Interned IDs are
+// resolved back to strings: the snapshot wire format predates interning
+// and is unchanged (IDs are private to one stage instance).
 func (t *TemporalStage) Export() []TemporalEntry {
 	out := make([]TemporalEntry, 0, len(t.last))
 	for k, last := range t.last {
-		out = append(out, TemporalEntry{Location: k.loc, JobID: k.jobID, Entry: k.entry, LastMs: last})
+		out = append(out, TemporalEntry{Location: t.syms.str(k.loc), JobID: k.jobID, Entry: t.syms.str(k.entry), LastMs: last})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -48,11 +50,12 @@ func (t *TemporalStage) Export() []TemporalEntry {
 }
 
 // Restore replaces the stage's resident keys with rows (typically a
-// filtered subset of an Export).
+// filtered subset of an Export), re-interning the row strings into this
+// stage's symbol table.
 func (t *TemporalStage) Restore(rows []TemporalEntry) {
-	t.last = make(map[tempKey]int64, len(rows))
+	t.last = make(map[tempIKey]int64, len(rows))
 	for _, r := range rows {
-		t.last[tempKey{r.Location, r.JobID, r.Entry}] = r.LastMs
+		t.last[tempIKey{loc: t.syms.id(r.Location), entry: t.syms.id(r.Entry), jobID: r.JobID}] = r.LastMs
 	}
 	t.sinceSweep = 0
 }
@@ -69,7 +72,7 @@ func (t *TemporalStage) Record(e raslog.Event, kept bool) {
 	// drops one under Sliding; an anchored (non-sliding) drop leaves the
 	// key untouched.
 	if kept || t.sliding {
-		t.last[tempKey{e.Location, e.JobID, e.Entry}] = e.Time
+		t.last[tempIKey{loc: t.syms.id(e.Location), entry: t.syms.id(e.Entry), jobID: e.JobID}] = e.Time
 	}
 }
 
@@ -86,7 +89,7 @@ type SpatialEntry struct {
 func (s *SpatialStage) Export() []SpatialEntry {
 	out := make([]SpatialEntry, 0, len(s.last))
 	for k, st := range s.last {
-		out = append(out, SpatialEntry{JobID: k.jobID, Entry: k.entry, Location: st.loc, LastMs: st.time})
+		out = append(out, SpatialEntry{JobID: k.jobID, Entry: s.syms.str(k.entry), Location: s.syms.str(st.loc), LastMs: st.time})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -98,11 +101,12 @@ func (s *SpatialStage) Export() []SpatialEntry {
 	return out
 }
 
-// Restore replaces the stage's resident keys with rows.
+// Restore replaces the stage's resident keys with rows, re-interning
+// the row strings into this stage's symbol table.
 func (s *SpatialStage) Restore(rows []SpatialEntry) {
-	s.last = make(map[spatKey]spatState, len(rows))
+	s.last = make(map[spatIKey]spatState, len(rows))
 	for _, r := range rows {
-		s.last[spatKey{r.JobID, r.Entry}] = spatState{time: r.LastMs, loc: r.Location}
+		s.last[spatIKey{entry: s.syms.id(r.Entry), jobID: r.JobID}] = spatState{time: r.LastMs, loc: s.syms.id(r.Location)}
 	}
 	s.sinceSweep = 0
 }

@@ -53,14 +53,15 @@ func ReadLog(r io.Reader, name string) (*Log, error) {
 	l := NewLog(name, 1024)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	in := NewInterner()
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := sc.Text()
-		if line == "" {
+		line := sc.Bytes()
+		if len(line) == 0 {
 			continue
 		}
-		e, err := ParseLine(line)
+		e, err := ParseLineBytes(line, in)
 		if err != nil {
 			return nil, fmt.Errorf("raslog: line %d: %w", lineNo, err)
 		}
@@ -78,34 +79,110 @@ func ReadLog(r io.Reader, name string) (*Log, error) {
 // otherwise the \r would silently end up inside the final Entry field
 // and make the "same" event categorize differently.
 func ParseLine(line string) (Event, error) {
-	line = strings.TrimSuffix(line, "\r")
-	parts := strings.SplitN(line, "|", codecFields)
-	if len(parts) != codecFields {
-		return Event{}, fmt.Errorf("want %d fields, got %d", codecFields, len(parts))
+	return ParseLineBytes([]byte(line), nil)
+}
+
+// ParseLineBytes is the zero-copy form of ParseLine: it splits the line
+// in place (no intermediate field slice) and, when an Interner is
+// supplied, reuses prior copies of the string fields — so a line whose
+// vocabulary has been seen before parses without heap allocation. The
+// returned event does not retain line.
+func ParseLineBytes(line []byte, in *Interner) (Event, error) {
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	// Split at the first codecFields-1 separators; the final field is the
+	// remainder (Entry may itself contain no '|' — sanitize ensures it —
+	// but the split must match strings.SplitN's counting exactly).
+	var f [codecFields][]byte
+	n, start := 0, 0
+	for i := 0; i < len(line) && n < codecFields-1; i++ {
+		if line[i] == '|' {
+			f[n] = line[start:i]
+			n++
+			start = i + 1
+		}
+	}
+	f[n] = line[start:]
+	n++
+	if n != codecFields {
+		return Event{}, fmt.Errorf("want %d fields, got %d", codecFields, n)
 	}
 	var e Event
 	var err error
-	if e.RecordID, err = strconv.ParseInt(parts[0], 10, 64); err != nil {
+	if e.RecordID, err = parseIntBytes(f[0]); err != nil {
 		return Event{}, fmt.Errorf("record id: %w", err)
 	}
-	e.Type = parts[1]
-	secs, err := strconv.ParseInt(parts[2], 10, 64)
+	secs, err := parseIntBytes(f[2])
 	if err != nil {
 		return Event{}, fmt.Errorf("event time: %w", err)
 	}
 	e.Time = secs * 1000
-	if e.JobID, err = strconv.ParseInt(parts[3], 10, 64); err != nil {
+	if e.JobID, err = parseIntBytes(f[3]); err != nil {
 		return Event{}, fmt.Errorf("job id: %w", err)
 	}
-	e.Location = parts[4]
-	if e.Facility, err = ParseFacility(parts[5]); err != nil {
+	if e.Facility, err = parseFacilityBytes(f[5]); err != nil {
 		return Event{}, err
 	}
-	if e.Severity, err = ParseSeverity(parts[6]); err != nil {
+	if e.Severity, err = parseSeverityBytes(f[6]); err != nil {
 		return Event{}, err
 	}
-	e.Entry = parts[7]
+	e.Type = intern(in, f[1])
+	e.Location = intern(in, f[4])
+	e.Entry = intern(in, f[7])
 	return e, nil
+}
+
+// parseIntBytes decodes a decimal int64 without converting to string on
+// the happy path; anything unusual (empty, overflow-length, stray bytes)
+// falls back to strconv for its exact error values.
+func parseIntBytes(b []byte) (int64, error) {
+	// 18 digits cannot overflow int64, so the fast loop needs no bounds
+	// arithmetic; longer (possibly overflowing) input takes the slow path.
+	if n := len(b); n > 0 && n <= 18 {
+		i := 0
+		neg := false
+		if b[0] == '-' || b[0] == '+' {
+			neg = b[0] == '-'
+			i++
+		}
+		if i < n {
+			var v int64
+			for ; i < n; i++ {
+				d := b[i] - '0'
+				if d > 9 {
+					return strconv.ParseInt(string(b), 10, 64)
+				}
+				v = v*10 + int64(d)
+			}
+			if neg {
+				v = -v
+			}
+			return v, nil
+		}
+	}
+	return strconv.ParseInt(string(b), 10, 64)
+}
+
+// parseFacilityBytes is ParseFacility without the string conversion (the
+// == comparison against each name does not allocate).
+func parseFacilityBytes(b []byte) (Facility, error) {
+	for i := range facilityNames {
+		if string(b) == facilityNames[i] {
+			return Facility(i), nil
+		}
+	}
+	return 0, fmt.Errorf("raslog: unknown facility %q", b)
+}
+
+// parseSeverityBytes is ParseSeverity without the string conversion.
+func parseSeverityBytes(b []byte) (Severity, error) {
+	for i := range severityNames {
+		if string(b) == severityNames[i] {
+			return Severity(i), nil
+		}
+	}
+	return 0, fmt.Errorf("raslog: unknown severity %q", b)
 }
 
 // LogSizeBytes returns the size in bytes the log would occupy in the text

@@ -16,7 +16,10 @@ import (
 //	}
 //	if err := sc.Err(); err != nil { ... }
 type Scanner struct {
-	sc     *bufio.Scanner
+	sc *bufio.Scanner
+	// in dedups the stream's string vocabulary so steady-state scanning
+	// allocates nothing per line (the fields of repeated values are shared).
+	in     *Interner
 	event  Event
 	err    error
 	lineNo int
@@ -27,7 +30,7 @@ type Scanner struct {
 func NewScanner(r io.Reader) *Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	return &Scanner{sc: sc}
+	return &Scanner{sc: sc, in: NewInterner()}
 }
 
 // Scan advances to the next event. It returns false at end of input or on
@@ -38,11 +41,11 @@ func (s *Scanner) Scan() bool {
 	}
 	for s.sc.Scan() {
 		s.lineNo++
-		line := s.sc.Text()
-		if line == "" {
+		line := s.sc.Bytes()
+		if len(line) == 0 {
 			continue
 		}
-		e, err := ParseLine(line)
+		e, err := ParseLineBytes(line, s.in)
 		if err != nil {
 			s.err = fmt.Errorf("raslog: line %d: %w", s.lineNo, err)
 			return false

@@ -32,6 +32,16 @@ import (
 // below it ScoreAllN falls back to the serial single pass.
 const minRulesPerWorker = 16
 
+// serialCutoff is the smallest candidate set for which partitioned
+// scoring can pay at all. Every worker replays the *whole* event stream
+// for its rule slice, so each extra worker buys ruleWork/W of
+// parallelism at the price of one more full stream scan plus goroutine
+// startup; with a small rule set the duplicated scans dominate and the
+// "parallel" pass is strictly slower than the serial one (the
+// BenchmarkReviseParallel regression). Below the cutoff ScoreAllN is
+// serial no matter how many workers are offered.
+const serialCutoff = 4 * minRulesPerWorker
+
 // Reviser filters candidate rules by replaying them on training data.
 type Reviser struct {
 	// MinROC is the acceptance threshold (paper default 0.7; the metric
@@ -106,7 +116,7 @@ func ScoreAllN(rules []learner.Rule, events []preprocess.TaggedEvent,
 	if max := (len(rules) + minRulesPerWorker - 1) / minRulesPerWorker; workers > max {
 		workers = max
 	}
-	if workers <= 1 {
+	if workers <= 1 || len(rules) < serialCutoff {
 		return scoreChunk(rules, events, p)
 	}
 	outcomes := make([]eval.Outcome, len(rules))

@@ -14,7 +14,10 @@ import (
 
 // NewMux returns the service's HTTP API:
 //
-//	POST /ingest    text-codec RAS lines (batched, one per line)
+//	POST /ingest        text-codec RAS lines, ingested one event at a time
+//	POST /ingest/batch  the same wire format, ingested via IngestBatch:
+//	                    whole chunks enter the pipeline together and
+//	                    commit to the WAL with one frame and one fsync
 //	GET  /warnings  recent warnings with their trigger rules (?n=50)
 //	GET  /stats     counters, compression, rule counts, retrain history
 //	GET  /metrics   the same counters in Prometheus text exposition
@@ -23,6 +26,7 @@ import (
 func NewMux(s *Service) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /ingest/batch", s.handleIngestBatch)
 	mux.HandleFunc("GET /warnings", s.handleWarnings)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", s.Metrics().Handler())
@@ -67,6 +71,64 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// or a request that ran out of time against backpressure is not —
 		// the batch is retryable (503). Ingest errors may arrive wrapped,
 		// so compare with errors.Is, never ==.
+		status = http.StatusBadRequest
+		if errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+// ingestBatchChunk caps one IngestBatch call (and therefore one WAL
+// frame) from the batch endpoint. Chunking also gives the 503 resume
+// protocol its granularity: a batch that fails against backpressure or
+// shutdown reports the first line of the first unconsumed chunk, and
+// everything before it is already accepted.
+const ingestBatchChunk = 1024
+
+// handleIngestBatch serves POST /ingest/batch: the same
+// newline-delimited text codec as /ingest, but events are parsed
+// upfront and handed to IngestBatch in chunks, so each chunk shares one
+// WAL group commit instead of paying the log write per event. The
+// response protocol matches /ingest exactly — on error, Line is the
+// 1-based input line to resume from: lines before it were accepted,
+// whether the failure was a decode error (400) or an unavailable
+// service (503). A decode error mid-body still ingests every line
+// parsed before it.
+func (s *Service) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
+	sc := raslog.NewScanner(body)
+	var (
+		events []raslog.Event
+		lines  []int // 1-based input line per parsed event
+	)
+	for sc.Scan() {
+		events = append(events, sc.Event())
+		lines = append(lines, sc.Line())
+	}
+	decodeErr := sc.Err()
+
+	resp := ingestResponse{}
+	var err error
+	for len(events) > 0 {
+		n := min(len(events), ingestBatchChunk)
+		m, ierr := s.IngestBatch(r.Context(), events[:n])
+		resp.Accepted += m
+		if ierr != nil {
+			err = fmt.Errorf("ingest line %d: %w", lines[0], ierr)
+			resp.Line = lines[0]
+			break
+		}
+		events, lines = events[n:], lines[n:]
+	}
+	if err == nil && decodeErr != nil {
+		err = decodeErr
+		resp.Line = sc.Line()
+	}
+	status := http.StatusOK
+	if err != nil {
+		resp.Error = err.Error()
 		status = http.StatusBadRequest
 		if errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) ||
 			errors.Is(err, context.DeadlineExceeded) {

@@ -1,0 +1,135 @@
+package stream
+
+// POST /ingest/batch protocol tests: same wire format and same resume
+// protocol as /ingest, with chunk-granular acceptance.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/raslog"
+)
+
+func postIngestBatch(t *testing.T, url string, body []byte) (int, ingestResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/ingest/batch", "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out ingestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestHTTPIngestBatchAccepts(t *testing.T) {
+	l := genLog(t, 7, 4)
+	cfg := Defaults()
+	cfg.InitialTrain = 10000 * week
+	s, srv := newTestServer(t, cfg)
+
+	status, out := postIngestBatch(t, srv.URL, encodeLog(t, l))
+	if status != http.StatusOK || out.Error != "" {
+		t.Fatalf("batch ingest = %d %+v", status, out)
+	}
+	if out.Accepted != l.Len() {
+		t.Fatalf("accepted %d of %d", out.Accepted, l.Len())
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		return s.Stats().Sequenced+s.Stats().LateDropped >= int64(l.Len())-200
+	})
+	if st := s.Stats(); st.Ingested != int64(l.Len()) {
+		t.Errorf("stats ingested = %d, want %d", st.Ingested, l.Len())
+	}
+}
+
+// TestHTTPIngestBatchBadLine pins the decode-error contract: the lines
+// parsed before the bad one are still ingested, the status is 400, and
+// Line names the failing input line.
+func TestHTTPIngestBatchBadLine(t *testing.T) {
+	s, srv := newTestServer(t, Defaults())
+	body := "1|RAS|10|0|L|KERNEL|INFO|ok\ngarbage line\n2|RAS|20|0|L|KERNEL|INFO|ok\n"
+	status, out := postIngestBatch(t, srv.URL, []byte(body))
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", status)
+	}
+	if out.Accepted != 1 {
+		t.Errorf("accepted = %d, want 1 (the prefix before the garbage)", out.Accepted)
+	}
+	if out.Line != 2 || !strings.Contains(out.Error, "line 2") {
+		t.Errorf("response = %+v; want failure named at line 2", out)
+	}
+	waitFor(t, 10*time.Second, func() bool { return s.Stats().Ingested == 1 })
+}
+
+func TestHTTPIngestBatchClosedService(t *testing.T) {
+	s, srv := newTestServer(t, Defaults())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	status, out := postIngestBatch(t, srv.URL,
+		[]byte("1|RAS|10|0|L|KERNEL|INFO|ok\n"))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 for a closed service", status)
+	}
+	if out.Accepted != 0 || out.Line != 1 {
+		t.Errorf("response = %+v; want 0 accepted, resume from line 1", out)
+	}
+}
+
+// TestHTTPIngestBatchMidBatch503 exercises the mid-batch resume path: a
+// body spanning several chunks against a wedged pipeline accepts some
+// whole chunks, then times out; the response reports the first line of
+// the first unconsumed chunk so the client can resume exactly there.
+func TestHTTPIngestBatchMidBatch503(t *testing.T) {
+	cfg := Defaults()
+	cfg.InitialTrain = 10000 * week
+	cfg.Shards = 1
+	cfg.QueueLen = 1
+	cfg.ReorderLimit = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wedge the collector (same trick as the /ingest backpressure test):
+	// with every queue at length 1, only the first chunk message fits.
+	s.mu.Lock()
+	evs := make([]raslog.Event, 2*ingestBatchChunk+52)
+	for i := range evs {
+		evs[i] = pipelineEvent(i)
+	}
+	body := encodeLog(t, &raslog.Log{Events: evs})
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest("POST", "/ingest/batch", bytes.NewReader(body)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	s.handleIngestBatch(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 on backpressure timeout: %s", w.Code, w.Body)
+	}
+	var out ingestResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted == 0 || out.Accepted >= len(evs) {
+		t.Errorf("accepted %d of %d; want some whole chunks, not all", out.Accepted, len(evs))
+	}
+	if out.Accepted%ingestBatchChunk != 0 {
+		t.Errorf("accepted %d is not chunk-aligned (chunk %d)", out.Accepted, ingestBatchChunk)
+	}
+	if out.Line != out.Accepted+1 {
+		t.Errorf("resume line %d with %d accepted; want accepted+1", out.Line, out.Accepted)
+	}
+	s.mu.Unlock()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

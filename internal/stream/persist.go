@@ -92,6 +92,11 @@ func (s *Service) recover() error {
 	s.recovery.Replayed = replayed
 	s.recovery.ResumeSeq = end
 	if replayed > 0 {
+		// The replay tail advanced the mirror past the snapshot cut, so the
+		// shards must be seeded from the post-replay state: a stale seed
+		// misses the tail's anchors and would keep an event the original
+		// run suppressed at the temporal threshold.
+		s.tempSeed = s.tempMirror.Export()
 		// Re-anchor durability at the recovered position so the next crash
 		// does not replay this tail again. Not done mid-replay: the WAL
 		// files being iterated must not be pruned under the iterator.

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -340,5 +341,79 @@ func TestRecoveryRejectsWALGap(t *testing.T) {
 	}
 	if _, err := New(durableConfig(dir)); err == nil {
 		t.Fatal("New over a WAL with a missing segment succeeded")
+	}
+}
+
+// TestReplayTailSeedsShardTemporalState pins a recovery-handoff subtlety:
+// WAL replay advances the temporal mirror past the snapshot cut, and the
+// shards must be seeded from that post-replay state. A shard seeded from
+// the stale snapshot rows would miss the replay tail's anchors and keep
+// an event the original run suppressed at exactly the threshold.
+func TestReplayTailSeedsShardTemporalState(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	probe := func(tms int64) raslog.Event {
+		return raslog.Event{Time: tms, JobID: 7, Location: "R00-M0-N00-C00-U0",
+			Entry: "temporal seed probe", Facility: raslog.Kernel, Severity: raslog.Info}
+	}
+	cfg := durableConfig(dir)
+	thrMs := cfg.Filter.Threshold * 1000
+	base := int64(1136073600000)
+
+	// A is sequenced (and, per-record flush, durable) but no snapshot ever
+	// covers it: the crash leaves a WAL-only tail for recovery to replay.
+	// The pusher event advances the sequencer's high-water mark past the
+	// reorder tolerance so A is released; the pusher itself stays in the
+	// reorder buffer and dies with the crash.
+	first, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pusher := raslog.Event{Time: base + cfg.ReorderWindow.Milliseconds() + 60_000,
+		JobID: 9, Location: "R77-M0-N00-C00-U0", Entry: "watermark pusher",
+		Facility: raslog.Kernel, Severity: raslog.Info}
+	if err := first.Ingest(ctx, probe(base)); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Ingest(ctx, pusher); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, func() bool { return first.Stats().Sequenced == 1 })
+	first.crash()
+
+	second, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := second.Recovery(); rec.Replayed != 1 || rec.ResumeSeq != 1 {
+		t.Fatalf("recovery = %+v, want 1 replayed, resume at 1", rec)
+	}
+	// B repeats A's key exactly Threshold later — the inclusive boundary.
+	// An uninterrupted run suppresses it; the recovered run must too.
+	if err := second.Ingest(ctx, probe(base+thrMs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := second.Stats().AfterTemporal; got != 1 {
+		t.Fatalf("after_temporal = %d, want 1 (recovered shard lost the replayed anchor)", got)
+	}
+
+	// The premise, pinned on a plain service: A kept, B suppressed.
+	ref, err := New(durableConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []raslog.Event{probe(base), probe(base + thrMs)} {
+		if err := ref.Ingest(ctx, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ref.Stats().AfterTemporal; got != 1 {
+		t.Fatalf("reference after_temporal = %d, want 1 — test premise broken", got)
 	}
 }

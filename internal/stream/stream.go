@@ -35,11 +35,9 @@
 package stream
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -216,7 +214,7 @@ type Service struct {
 	// can be seeded without touching the old one across goroutines.
 	lastWarn [3]atomic.Int64
 
-	seqCh     chan raslog.Event
+	seqCh     chan ingestMsg
 	shardChs  []chan seqEvent
 	collectCh chan shardOut
 
@@ -275,7 +273,7 @@ func New(cfg Config) (*Service, error) {
 		zer:       preprocess.NewCategorizer(preprocess.NewCatalog()),
 		setCache:  learner.NewEventSetCache(),
 		spatial:   preprocess.NewSpatialStage(full.Filter),
-		seqCh:     make(chan raslog.Event, full.QueueLen),
+		seqCh:     make(chan ingestMsg, full.QueueLen),
 		shardChs:  make([]chan seqEvent, full.Shards),
 		collectCh: make(chan shardOut, full.QueueLen),
 		done:      make(chan struct{}),
@@ -324,11 +322,36 @@ func (s *Service) Ingest(ctx context.Context, e raslog.Event) error {
 		return ErrClosed
 	}
 	select {
-	case s.seqCh <- e:
+	case s.seqCh <- ingestMsg{e: e}:
 		s.m.ingested.Inc()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// IngestBatch feeds events as one unit: the batch enters the reorder
+// buffer together, and everything it releases is made durable with a
+// single WAL frame and a single fsync (group commit) before any of it is
+// forwarded downstream. The service takes ownership of the slice; the
+// caller must not reuse it. Returns how many events were accepted —
+// the whole batch, or zero when the service is closed or ctx expires
+// before the pipeline has room.
+func (s *Service) IngestBatch(ctx context.Context, events []raslog.Event) (int, error) {
+	if len(events) == 0 {
+		return 0, nil
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	select {
+	case s.seqCh <- ingestMsg{batch: events}:
+		s.m.ingested.Add(int64(len(events)))
+		return len(events), nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
 	}
 }
 
@@ -361,27 +384,74 @@ func (s *Service) Close() error {
 // Sequencer: bounded reorder buffer keyed on timestamp.
 // ---------------------------------------------------------------------------
 
+// ingestMsg travels Ingest/IngestBatch → sequencer. Exactly one of the
+// two fields is meaningful: batch == nil is the single-event form. A
+// batch is sequenced as one unit, so everything it releases shares one
+// WAL group commit.
+type ingestMsg struct {
+	e     raslog.Event
+	batch []raslog.Event
+}
+
 type heapEntry struct {
 	e       raslog.Event
 	arrival uint64 // tie-break so equal timestamps keep arrival order
 }
 
-type eventHeap []heapEntry
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].e.Time != h[j].e.Time {
-		return h[i].e.Time < h[j].e.Time
-	}
-	return h[i].arrival < h[j].arrival
+// eventHeap is a concrete-typed binary min-heap ordered by (time,
+// arrival). container/heap's interface{} methods box every entry on
+// Push and Pop — two heap allocations per event on the hottest path in
+// the service; with the entry type fixed, push and pop touch only the
+// reused backing array.
+type eventHeap struct {
+	buf []heapEntry
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	x := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return x
+
+func (h *eventHeap) len() int { return len(h.buf) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.buf[i].e.Time != h.buf[j].e.Time {
+		return h.buf[i].e.Time < h.buf[j].e.Time
+	}
+	return h.buf[i].arrival < h.buf[j].arrival
+}
+
+func (h *eventHeap) push(ent heapEntry) {
+	h.buf = append(h.buf, ent)
+	i := len(h.buf) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.buf[i], h.buf[parent] = h.buf[parent], h.buf[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() heapEntry {
+	top := h.buf[0]
+	last := len(h.buf) - 1
+	h.buf[0] = h.buf[last]
+	h.buf[last] = heapEntry{} // drop the string references
+	h.buf = h.buf[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.less(l, small) {
+			small = l
+		}
+		if r < last && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.buf[i], h.buf[small] = h.buf[small], h.buf[i]
+		i = small
+	}
+	return top
 }
 
 func (s *Service) sequencer() {
@@ -394,13 +464,15 @@ func (s *Service) sequencer() {
 		seq         = s.seqStart
 		maxSeen     = s.seqTimeSeed
 		lastEmitted = s.seqTimeSeed
+		release     []seqEvent     // this round's releases, committed together
+		walBatch    []raslog.Event // scratch for the group-commit frame
 	)
 	tolMs := s.cfg.ReorderWindow.Milliseconds()
 
-	// emit releases one event from the buffer. overflow marks a release
-	// forced by the buffer cap alone (not yet past the tolerance): such an
-	// event increments exactly one counter — lateDropped when it is behind
-	// the emitted floor, reorderOverflow otherwise.
+	// emit stages one event released from the buffer. overflow marks a
+	// release forced by the buffer cap alone (not yet past the tolerance):
+	// such an event increments exactly one counter — lateDropped when it
+	// is behind the emitted floor, reorderOverflow otherwise.
 	emit := func(e raslog.Event, overflow bool) {
 		if e.Time < lastEmitted {
 			s.m.lateDropped.Inc()
@@ -410,50 +482,96 @@ func (s *Service) sequencer() {
 			s.m.reorderOverflow.Inc()
 		}
 		lastEmitted = e.Time
-		se := seqEvent{seq: seq, e: e}
+		release = append(release, seqEvent{seq: seq, e: e})
+		seq++
+	}
+
+	// flush commits the staged releases — a burst takes one WAL frame and
+	// one fsync no matter its size (group commit), a burst of one takes
+	// the buffered single-record path — then forwards them to the shards.
+	// WAL-before-processing holds as before: no sequence number becomes
+	// visible downstream until its event is in the log.
+	flush := func() {
+		if len(release) == 0 {
+			return
+		}
 		if s.store != nil {
-			// WAL-before-processing: once a sequence number is visible
-			// downstream, its event is in the log (buffered at least), so a
-			// snapshot cut at the collector can always replay forward.
-			if n, err := s.store.Append(se.seq, e); err != nil {
+			var n int
+			var err error
+			if len(release) == 1 {
+				n, err = s.store.Append(release[0].seq, release[0].e)
+			} else {
+				walBatch = walBatch[:0]
+				for i := range release {
+					walBatch = append(walBatch, release[i].e)
+				}
+				n, err = s.store.AppendBatch(release[0].seq, walBatch)
+			}
+			if err != nil {
 				s.m.walErrors.Inc()
 			} else {
 				s.m.walBytes.Add(int64(n))
 			}
 		}
-		seq++
-		s.m.sequenced.Inc()
-		s.shardChs[shardOf(e.Location, len(s.shardChs))] <- se
+		for i := range release {
+			s.m.sequenced.Inc()
+			s.shardChs[shardOf(release[i].e.Location, len(s.shardChs))] <- release[i]
+			release[i] = seqEvent{} // drop the string references
+		}
+		release = release[:0]
 	}
 
-	for e := range s.seqCh {
-		t0 := time.Now()
+	push := func(e raslog.Event) {
 		if e.Time > maxSeen {
 			maxSeen = e.Time
 		}
-		heap.Push(&buf, heapEntry{e: e, arrival: arrival})
+		buf.push(heapEntry{e: e, arrival: arrival})
 		arrival++
-		for len(buf) > 0 && (len(buf) > s.cfg.ReorderLimit || buf[0].e.Time <= maxSeen-tolMs) {
-			overflow := len(buf) > s.cfg.ReorderLimit && buf[0].e.Time > maxSeen-tolMs
-			emit(heap.Pop(&buf).(heapEntry).e, overflow)
+	}
+
+	for msg := range s.seqCh {
+		t0 := time.Now()
+		if msg.batch != nil {
+			for _, e := range msg.batch {
+				push(e)
+			}
+		} else {
+			push(msg.e)
 		}
-		s.m.reorderDepth.Set(float64(len(buf)))
+		for buf.len() > 0 && (buf.len() > s.cfg.ReorderLimit || buf.buf[0].e.Time <= maxSeen-tolMs) {
+			overflow := buf.len() > s.cfg.ReorderLimit && buf.buf[0].e.Time > maxSeen-tolMs
+			emit(buf.pop().e, overflow)
+		}
+		flush()
+		s.m.reorderDepth.Set(float64(buf.len()))
 		s.m.seqLatency.Since(t0)
 	}
 	// Intake closed: flush the buffer in order.
-	for len(buf) > 0 {
-		emit(heap.Pop(&buf).(heapEntry).e, false)
+	for buf.len() > 0 {
+		emit(buf.pop().e, false)
 	}
+	flush()
 	s.m.reorderDepth.Set(0)
 	for _, ch := range s.shardChs {
 		close(ch)
 	}
 }
 
+// shardOf pins a location to a shard with inline FNV-1a. The hash/fnv
+// object costs an allocation per event (plus the []byte(location)
+// conversion); the loop below computes the identical hash, so shard
+// assignment — and the re-split of snapshotted temporal state across
+// shards — is unchanged.
 func shardOf(location string, n int) int {
-	h := fnv.New32a()
-	h.Write([]byte(location))
-	return int(h.Sum32() % uint32(n))
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(location); i++ {
+		h = (h ^ uint32(location[i])) * prime32
+	}
+	return int(h % uint32(n))
 }
 
 // ---------------------------------------------------------------------------
@@ -495,17 +613,67 @@ func (s *Service) shard(i int, wg *sync.WaitGroup) {
 // Collector: ordered merge, spatial filter, predictor, retrain trigger.
 // ---------------------------------------------------------------------------
 
+// pendingRing holds out-of-order shard outputs awaiting in-sequence
+// release, slotted by sequence number into a power-of-two ring. The
+// live window (newest seq − release position) is bounded by the
+// in-flight capacity of the shard and collector channels, so the ring
+// grows to a steady size once and then replaces the old map's per-event
+// hashing, bucket allocation and tombstones with two array writes.
+type pendingRing struct {
+	buf []shardOut
+	set []bool
+}
+
+// put stores o, growing the ring while o.seq would collide with a slot
+// still inside the [next, next+len) window.
+func (r *pendingRing) put(next uint64, o shardOut) {
+	if len(r.buf) == 0 {
+		r.buf = make([]shardOut, 64)
+		r.set = make([]bool, 64)
+	}
+	for o.seq-next >= uint64(len(r.buf)) {
+		r.grow()
+	}
+	i := o.seq & uint64(len(r.buf)-1)
+	r.buf[i], r.set[i] = o, true
+}
+
+func (r *pendingRing) grow() {
+	buf := make([]shardOut, 2*len(r.buf))
+	set := make([]bool, 2*len(r.buf))
+	for i, ok := range r.set {
+		if ok {
+			j := r.buf[i].seq & uint64(len(buf)-1)
+			buf[j], set[j] = r.buf[i], true
+		}
+	}
+	r.buf, r.set = buf, set
+}
+
+// take removes and returns the entry for seq, if present.
+func (r *pendingRing) take(seq uint64) (shardOut, bool) {
+	if len(r.buf) == 0 {
+		return shardOut{}, false
+	}
+	i := seq & uint64(len(r.buf)-1)
+	if !r.set[i] {
+		return shardOut{}, false
+	}
+	o := r.buf[i]
+	r.buf[i], r.set[i] = shardOut{}, false // drop the string references
+	return o, true
+}
+
 func (s *Service) collector() {
 	defer close(s.done)
-	pending := make(map[uint64]shardOut)
+	var pending pendingRing
 	for out := range s.collectCh {
-		pending[out.seq] = out
+		pending.put(s.next, out)
 		for {
-			o, ok := pending[s.next]
+			o, ok := pending.take(s.next)
 			if !ok {
 				break
 			}
-			delete(pending, s.next)
 			s.next++
 			t0 := time.Now()
 			s.advance(o.te.Time)

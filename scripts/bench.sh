@@ -1,24 +1,34 @@
 #!/bin/sh
-# Component benchmark snapshot: runs the training-pipeline benchmarks
-# (BenchmarkMetaTrain serial/parallel, BenchmarkReviseParallel,
-# BenchmarkMine, BenchmarkFilter, BenchmarkStreamObserve) with -benchmem
-# and writes the parsed numbers to BENCH_2.json, so performance work has
-# a committed before/after record. Wall-clock speedups depend on the
-# machine: the snapshot records GOMAXPROCS alongside every number.
+# Component benchmark snapshot: runs the training-pipeline and serving
+# hot-path benchmarks (BenchmarkMetaTrain serial/parallel,
+# BenchmarkReviseParallel, BenchmarkMine, BenchmarkFilter,
+# BenchmarkStreamObserve, BenchmarkIngestBatch, BenchmarkParseLine) with
+# -benchmem and writes the parsed numbers to BENCH_5.json, so
+# performance work has a committed before/after record. Wall-clock
+# speedups depend on the machine: the snapshot records GOMAXPROCS
+# alongside every number.
 #
 # Usage: sh scripts/bench.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_2.json}"
+OUT="${1:-BENCH_5.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 BENCHTIME="${BENCHTIME:-5x}"
+# The serving hot path is sub-microsecond per event; give it enough
+# iterations that per-op numbers mean something.
+STREAMTIME="${STREAMTIME:-20000x}"
 
 echo "== component benchmarks (benchtime $BENCHTIME)"
-go test -run '^$' -bench 'BenchmarkMetaTrain$|BenchmarkReviseParallel$|BenchmarkFilter$|BenchmarkStreamObserve$' \
+go test -run '^$' -bench 'BenchmarkMetaTrain$|BenchmarkReviseParallel$|BenchmarkFilter$' \
     -benchmem -benchtime "$BENCHTIME" . | tee "$TMP"
+echo "== serving hot path (benchtime $STREAMTIME)"
+go test -run '^$' -bench 'BenchmarkStreamObserve$|BenchmarkIngestBatch$' \
+    -benchmem -benchtime "$STREAMTIME" . | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkParseLine$' \
+    -benchmem -benchtime "$STREAMTIME" ./internal/raslog/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkMine$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/learner/assoc/ | tee -a "$TMP"
 
@@ -47,6 +57,14 @@ awk -v out="$OUT" '
 END {
     if (!n) { print "bench.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
     printf "\n  ],\n" > out
+    # Hot-path numbers before the zero-allocation serving work (the
+    # BENCH_2.json snapshot, same machine class, benchtime 10x): the
+    # sequencer heap boxed entries, the collector pended into a map, the
+    # filters and predictor keyed on strings, and each measured run also
+    # amortized one mid-run retrain — all gone from the after rows.
+    printf "  \"baseline_before_hot_path\": [\n" > out
+    printf "    {\"name\": \"BenchmarkStreamObserve\", \"ns_per_op\": 78857, \"bytes_per_op\": 35279, \"allocs_per_op\": 209}\n" > out
+    printf "  ],\n" > out
     # Pre-parallelization numbers (same machine class, benchtime 3x),
     # measured before the PR 2 training-pipeline work: the serial
     # BenchmarkMetaTrain was one monolithic pass.
@@ -58,7 +76,7 @@ END {
     printf "  \"cpu\": \"%s\",\n", cpu > out
     printf "  \"gomaxprocs\": %d,\n", procs > out
     printf "  \"benchtime\": \"%s\",\n", benchtime > out
-    printf "  \"note\": \"parallel speedup scales with cores; with gomaxprocs=1 the parallel rows measure scheduling overhead only — outputs are byte-identical either way (see the *parallel_test.go equivalence suites)\"\n}\n" > out
+    printf "  \"note\": \"parallel speedup scales with cores; with gomaxprocs=1 the parallel rows measure scheduling overhead only — outputs are byte-identical either way (see the *parallel_test.go equivalence suites). Serving rows ran at the streamtime iteration count so sub-microsecond per-event costs are resolved.\"\n}\n" > out
 }
 ' procs="$(nproc 2>/dev/null || echo 1)" benchtime="$BENCHTIME" "$TMP"
 

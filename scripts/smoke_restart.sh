@@ -68,7 +68,8 @@ wait_quiesce() {
 
 start_serve
 echo "smoke_restart: posting first half ($HALF events)"
-curl -fsS -X POST --data-binary "@$TMP/first.log" "$ADDR/ingest" > /dev/null
+# The batch endpoint: each chunk is WAL-committed with one group fsync.
+curl -fsS -X POST --data-binary "@$TMP/first.log" "$ADDR/ingest/batch" > /dev/null
 wait_quiesce
 echo "smoke_restart: kill -9 $SERVE_PID"
 kill -9 "$SERVE_PID"
@@ -89,7 +90,7 @@ RECOVERED=$(stat_field ingested)
 echo "smoke_restart: restarted with $RECOVERED events recovered"
 
 echo "smoke_restart: posting second half ($REST events)"
-curl -fsS -X POST --data-binary "@$TMP/second.log" "$ADDR/ingest" > /dev/null
+curl -fsS -X POST --data-binary "@$TMP/second.log" "$ADDR/ingest/batch" > /dev/null
 wait_quiesce
 
 INGESTED=$(stat_field ingested)

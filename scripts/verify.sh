@@ -11,6 +11,11 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test ./..."
 go test ./...
+echo "== allocation budgets (-count=1)"
+# The zero-allocation serving guarantees, re-measured every run: parse,
+# filter stages, predictor observe, and the whole stream pipeline.
+go test -count=1 -run 'AllocBudget' \
+    ./internal/raslog ./internal/preprocess ./internal/predictor ./internal/stream
 echo "== go test -race -count=1 ./internal/stream ./internal/predictor ./internal/obsv ./internal/persist"
 # -count=1 defeats the test cache: the concurrency-critical packages
 # (pipeline, predictor swap, metrics registry, durable state) re-run
