@@ -14,8 +14,8 @@ verify:
 	sh scripts/verify.sh
 
 # Component benchmarks of the training pipeline and the serving hot
-# path, snapshotted to BENCH_5.json (see scripts/bench.sh;
-# BENCHTIME=20x make bench for steadier numbers).
+# path (single-tenant and fleet-routed), snapshotted to BENCH_6.json
+# (see scripts/bench.sh; BENCHTIME=20x make bench for steadier numbers).
 bench:
 	sh scripts/bench.sh
 

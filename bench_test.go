@@ -18,6 +18,7 @@ import (
 	"repro/internal/bgsim"
 	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/fleet"
 	"repro/internal/learner"
 	"repro/internal/learner/assoc"
 	"repro/internal/meta"
@@ -181,12 +182,10 @@ func BenchmarkPredictorObserve(b *testing.B) {
 	}
 }
 
-// benchStreamService builds a warm streaming service for the observe
-// benchmarks: history loaded, predictor armed by one manual training
-// pass, and both training horizons pushed beyond any replay so the
-// measured loop is pure serving (a mid-run retrain at short benchtimes
-// used to dominate the per-op numbers and hide the hot path).
-func benchStreamService(b *testing.B) (*stream.Service, *raslog.Log, int64) {
+// benchRawLog generates the sorted replay feed shared by the streaming
+// benchmarks, returning the log and its stream-time span (replays shift
+// subsequent laps by the span so time keeps moving forward).
+func benchRawLog(b *testing.B) (*raslog.Log, int64) {
 	b.Helper()
 	cfg := bgsim.SDSC(1).Scaled(8, 0.1)
 	g, _ := bgsim.NewGenerator(cfg)
@@ -195,17 +194,26 @@ func benchStreamService(b *testing.B) (*stream.Service, *raslog.Log, int64) {
 		b.Fatal(err)
 	}
 	raw.SortByTime()
-	span := raw.End() - raw.Start() + 1
+	return raw, raw.End() - raw.Start() + 1
+}
 
+// benchStreamConfig pushes both training horizons beyond any replay so
+// the measured loop is pure serving (a mid-run retrain at short
+// benchtimes used to dominate the per-op numbers and hide the hot path);
+// the predictor is armed by one manual TrainNow instead.
+func benchStreamConfig() stream.Config {
 	scfg := stream.Defaults()
 	scfg.InitialTrain = 1_000_000 * time.Hour // train manually below
 	scfg.RetrainEvery = 1_000_000 * time.Hour // and never again
-	svc, err := stream.New(scfg)
-	if err != nil {
-		b.Fatal(err)
-	}
+	return scfg
+}
+
+// benchWarm loads the history into a fresh service and arms its
+// predictor with one manual training pass.
+func benchWarm(b *testing.B, svc *stream.Service, raw *raslog.Log) {
+	b.Helper()
 	ctx := context.Background()
-	for _, e := range raw.Events { // warm up history, then arm the predictor
+	for _, e := range raw.Events {
 		if err := svc.Ingest(ctx, e); err != nil {
 			b.Fatal(err)
 		}
@@ -213,6 +221,18 @@ func benchStreamService(b *testing.B) (*stream.Service, *raslog.Log, int64) {
 	if _, err := svc.TrainNow(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// benchStreamService builds a warm streaming service for the observe
+// benchmarks: history loaded, predictor armed, no retrain in sight.
+func benchStreamService(b *testing.B) (*stream.Service, *raslog.Log, int64) {
+	b.Helper()
+	raw, span := benchRawLog(b)
+	svc, err := stream.New(benchStreamConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWarm(b, svc, raw)
 	return svc, raw, span
 }
 
@@ -266,6 +286,54 @@ func BenchmarkIngestBatch(b *testing.B) {
 		}
 	}
 	if err := svc.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkFleetIngestBatch is BenchmarkIngestBatch routed through a
+// fleet registry: each chunk pays one Acquire/Release (a map lookup plus
+// two mutex hops) on top of the identical single-tenant pipeline. The
+// bar is parity — within 10% of BenchmarkIngestBatch, still zero
+// allocations per event — proving fleet multiplexing adds no per-event
+// cost to the hot path.
+func BenchmarkFleetIngestBatch(b *testing.B) {
+	raw, span := benchRawLog(b)
+	reg, err := fleet.New(fleet.Config{Stream: benchStreamConfig()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := reg.Acquire("bench", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWarm(b, h.Service(), raw)
+	h.Release()
+
+	ctx := context.Background()
+	const chunk = 512
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := len(raw.Events)
+	batch := make([]raslog.Event, 0, chunk)
+	for i := 0; i < b.N; i++ {
+		e := raw.Events[i%n]
+		e.Time += int64(1+i/n) * span
+		batch = append(batch, e)
+		if len(batch) == chunk || i == b.N-1 {
+			h, err := reg.Acquire("bench", false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := h.Service().IngestBatch(ctx, batch); err != nil {
+				b.Fatal(err)
+			}
+			h.Release()
+			batch = make([]raslog.Event, 0, chunk)
+		}
+	}
+	if err := reg.Close(); err != nil { // drain: count full pipeline cost
 		b.Fatal(err)
 	}
 	b.StopTimer()

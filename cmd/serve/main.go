@@ -6,6 +6,8 @@
 //	serve [-addr :8080] [-filter 300] [-window 300] [-train 26] [-retrain 4]
 //	      [-policy sliding|whole|static] [-shards 4] [-reorder 60]
 //	      [-parallelism 0] [-pprof] [-state-dir DIR]
+//	      [-fleet] [-default-tenant default] [-max-active 0]
+//	      [-idle-evict 0] [-retrain-workers 0]
 //
 // API:
 //
@@ -16,6 +18,18 @@
 //	                live training timings, in Prometheus text exposition
 //	GET  /healthz   liveness
 //	POST /retrain   force a training pass now
+//
+// -fleet multiplexes many independent tenants — one full pipeline each —
+// in this one process (DESIGN.md §11). Every route above is then also
+// available per tenant under /t/{tenant}/..., the unprefixed routes
+// alias the default tenant, GET /tenants lists the fleet, GET
+// /warnings?all=1 merges every active tenant's warnings, and GET
+// /metrics aggregates all tenants with tenant="<id>" labels. With
+// -state-dir each tenant persists under <state-dir>/tenants/<id>/.
+// -max-active softly caps resident tenants (LRU eviction), -idle-evict
+// evicts tenants idle that long (0 = never), and -retrain-workers bounds
+// concurrent background training passes fleet-wide (0 = GOMAXPROCS,
+// negative = unlimited).
 //
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ for
 // CPU/heap/goroutine profiling of the live service. It is opt-in: the
@@ -48,6 +62,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fleet"
 	"repro/internal/stream"
 )
 
@@ -64,28 +79,57 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "background-training workers (0 = GOMAXPROCS, 1 = serial)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in)")
 	stateDir := flag.String("state-dir", "", "directory for durable state (snapshots + WAL); empty = in-memory only")
+	fleetOn := flag.Bool("fleet", false, "serve many tenants from this process (routes under /t/{tenant}/)")
+	defaultTenant := flag.String("default-tenant", "default", "tenant backing the unprefixed routes in fleet mode")
+	maxActive := flag.Int("max-active", 0, "fleet: soft cap on resident tenants, LRU-evicted (0 = uncapped)")
+	idleEvict := flag.Duration("idle-evict", 0, "fleet: evict tenants idle this long, e.g. 30m (0 = never)")
+	retrainWorkers := flag.Int("retrain-workers", 0, "fleet: concurrent background training passes (0 = GOMAXPROCS, negative = unlimited)")
 	flag.Parse()
 
-	if err := run(*addr, *filter, *window, *train, *retrain, *policy, *shards, *reorder, *queue, *parallelism, *pprofOn, *stateDir); err != nil {
+	opts := serveOpts{
+		addr: *addr, filter: *filter, window: *window, train: *train,
+		retrain: *retrain, policy: *policy, shards: *shards, reorder: *reorder,
+		queue: *queue, parallelism: *parallelism, pprofOn: *pprofOn,
+		stateDir: *stateDir, fleetOn: *fleetOn, defaultTenant: *defaultTenant,
+		maxActive: *maxActive, idleEvict: *idleEvict, retrainWorkers: *retrainWorkers,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, filter, window int64, train, retrain float64, policy string, shards int, reorder int64, queue, parallelism int, pprofOn bool, stateDir string) error {
+type serveOpts struct {
+	addr           string
+	filter, window int64
+	train, retrain float64
+	policy         string
+	shards         int
+	reorder        int64
+	queue          int
+	parallelism    int
+	pprofOn        bool
+	stateDir       string
+	fleetOn        bool
+	defaultTenant  string
+	maxActive      int
+	idleEvict      time.Duration
+	retrainWorkers int
+}
+
+func streamConfig(o serveOpts) (stream.Config, error) {
 	const week = 7 * 24 * time.Hour
 	cfg := stream.Defaults()
-	cfg.Filter.Threshold = filter
-	cfg.Params.WindowSec = window
-	cfg.InitialTrain = time.Duration(train * float64(week))
-	cfg.TrainWindow = time.Duration(train * float64(week))
-	cfg.RetrainEvery = time.Duration(retrain * float64(week))
-	cfg.Shards = shards
-	cfg.ReorderWindow = time.Duration(reorder) * time.Second
-	cfg.QueueLen = queue
-	cfg.Parallelism = parallelism
-	cfg.StateDir = stateDir
-	switch policy {
+	cfg.Filter.Threshold = o.filter
+	cfg.Params.WindowSec = o.window
+	cfg.InitialTrain = time.Duration(o.train * float64(week))
+	cfg.TrainWindow = time.Duration(o.train * float64(week))
+	cfg.RetrainEvery = time.Duration(o.retrain * float64(week))
+	cfg.Shards = o.shards
+	cfg.ReorderWindow = time.Duration(o.reorder) * time.Second
+	cfg.QueueLen = o.queue
+	cfg.Parallelism = o.parallelism
+	switch o.policy {
 	case "sliding":
 		cfg.Policy = engine.Sliding
 	case "whole":
@@ -93,59 +137,104 @@ func run(addr string, filter, window int64, train, retrain float64, policy strin
 	case "static":
 		cfg.Policy = engine.Static
 	default:
-		return fmt.Errorf("unknown policy %q", policy)
+		return cfg, fmt.Errorf("unknown policy %q", o.policy)
 	}
+	return cfg, nil
+}
 
-	svc, err := stream.New(cfg)
+func run(o serveOpts) error {
+	cfg, err := streamConfig(o)
 	if err != nil {
 		return err
 	}
-	if stateDir != "" {
-		rec := svc.Recovery()
-		fmt.Fprintf(os.Stderr, "serve: recovered from %s — snapshot at seq %d, %d WAL events replayed, resuming at seq %d (%d ms)\n",
-			stateDir, rec.SnapshotSeq, rec.Replayed, rec.ResumeSeq, rec.DurationMs)
+
+	var (
+		mux      *http.ServeMux
+		shutdown func() error
+		drained  func()
+	)
+	if o.fleetOn {
+		reg, err := fleet.New(fleet.Config{
+			Stream:             cfg, // StateDir stays empty; tenants derive theirs from Root
+			Root:               o.stateDir,
+			DefaultTenant:      o.defaultTenant,
+			MaxActive:          o.maxActive,
+			IdleAfter:          o.idleEvict,
+			RetrainConcurrency: o.retrainWorkers,
+		})
+		if err != nil {
+			return err
+		}
+		if o.stateDir != "" {
+			fmt.Fprintf(os.Stderr, "serve: fleet root %s — %d tenants known\n",
+				o.stateDir, len(reg.List()))
+		}
+		mux = fleet.NewMux(reg)
+		shutdown = reg.Close
+		drained = func() {
+			// Runs after Close, so every tenant is already inactive.
+			fmt.Fprintf(os.Stderr, "serve: fleet drained — %d tenants known\n", len(reg.List()))
+		}
+	} else {
+		cfg.StateDir = o.stateDir
+		svc, err := stream.New(cfg)
+		if err != nil {
+			return err
+		}
+		if o.stateDir != "" {
+			rec := svc.Recovery()
+			fmt.Fprintf(os.Stderr, "serve: recovered from %s — snapshot at seq %d, %d WAL events replayed, resuming at seq %d (%d ms)\n",
+				o.stateDir, rec.SnapshotSeq, rec.Replayed, rec.ResumeSeq, rec.DurationMs)
+		}
+		mux = stream.NewMux(svc)
+		shutdown = svc.Close
+		drained = func() {
+			st := svc.Stats()
+			fmt.Fprintf(os.Stderr, "serve: drained — %d ingested, %d processed (%.1f%% compression), %d warnings, %d retrains\n",
+				st.Ingested, st.Processed, 100*st.CompressionRate, st.WarningsTotal, len(st.Retrains))
+		}
 	}
 
-	mux := stream.NewMux(svc)
-	if pprofOn {
+	if o.pprofOn {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	srv := &http.Server{Addr: addr, Handler: mux}
+	srv := &http.Server{Addr: o.addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	extra := ""
-	if pprofOn {
-		extra = ", pprof on"
+	if o.pprofOn {
+		extra += ", pprof on"
+	}
+	if o.fleetOn {
+		extra += ", fleet mode"
 	}
 	fmt.Fprintf(os.Stderr, "serve: listening on %s (policy %s, W_P %ds, filter %ds, retrain every %.3gw%s)\n",
-		addr, policy, window, filter, retrain, extra)
+		o.addr, o.policy, o.window, o.filter, o.retrain, extra)
 
 	select {
 	case <-ctx.Done():
 		fmt.Fprintln(os.Stderr, "serve: shutting down")
 	case err := <-errCh:
-		svc.Close()
+		shutdown()
 		return err
 	}
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		svc.Close()
+		shutdown()
 		return err
 	}
-	if err := svc.Close(); err != nil {
+	if err := shutdown(); err != nil {
 		return err
 	}
-	st := svc.Stats()
-	fmt.Fprintf(os.Stderr, "serve: drained — %d ingested, %d processed (%.1f%% compression), %d warnings, %d retrains\n",
-		st.Ingested, st.Processed, 100*st.CompressionRate, st.WarningsTotal, len(st.Retrains))
+	drained()
 	return nil
 }

@@ -10,6 +10,11 @@
 //	go run ./cmd/serve -train 4 -retrain 3 &
 //	go run ./examples/livefeed -addr http://localhost:8080
 //
+// Against a fleet-mode daemon (cmd/serve -fleet), -tenant feeds one
+// tenant's scoped routes (/t/<tenant>/ingest/batch and friends), so
+// several livefeed processes with different -tenant and -seed values
+// exercise true multi-tenant serving from one daemon.
+//
 // The daemon retrains on the stream's own timeline, so several retrain
 // cycles complete during the replay; the final poll shows the live rule
 // set and the latest predictions.
@@ -38,9 +43,10 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "raw duplication scale (full SDSC = 1)")
 	batch := flag.Int("batch", 2000, "events per POST /ingest/batch")
 	pause := flag.Duration("pause", 50*time.Millisecond, "pause between batches")
+	tenant := flag.String("tenant", "", "feed this tenant of a fleet-mode daemon (routes under /t/<tenant>/)")
 	flag.Parse()
 
-	if err := run(*addr, *seed, *weeks, *scale, *batch, *pause); err != nil {
+	if err := run(*addr, *tenant, *seed, *weeks, *scale, *batch, *pause); err != nil {
 		log.Fatal("livefeed: ", err)
 	}
 }
@@ -73,9 +79,15 @@ type stats struct {
 	} `json:"retrains"`
 }
 
-func run(addr string, seed uint64, weeks int, scale float64, batch int, pause time.Duration) error {
+func run(addr, tenant string, seed uint64, weeks int, scale float64, batch int, pause time.Duration) error {
+	// Liveness is checked on the daemon root — a fleet tenant may not
+	// exist yet (the first POST creates it) — then every route below
+	// rides the tenant prefix.
 	if _, err := http.Get(addr + "/healthz"); err != nil {
 		return fmt.Errorf("daemon not reachable (start ./cmd/serve first): %w", err)
+	}
+	if tenant != "" {
+		addr += "/t/" + tenant
 	}
 
 	cfg := repro.SDSC(seed).Scaled(weeks, scale)

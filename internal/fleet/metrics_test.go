@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+// TestAggregateExpositionRoundTrip pins the merged /metrics contract:
+// two active tenants render as one exposition that survives the strict
+// parser, with per-tenant labeled series, fleet rollups equal to the sum
+// of the parts, and byte-stable output.
+func TestAggregateExpositionRoundTrip(t *testing.T) {
+	l := genLog(t, 5, 4)
+	reg := mustFleet(t, Config{Root: t.TempDir()})
+	defer reg.Close()
+
+	for _, id := range []string{"a", "b"} {
+		h, err := reg.Acquire(id, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingestEvents(t, h.Service(), l.Events)
+		h.Release()
+		// Drain via evict + reactivate so per-tenant counters are settled.
+		if err := reg.Evict(id); err != nil {
+			t.Fatal(err)
+		}
+		if h, err = reg.Acquire(id, false); err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	got, err := obsv.ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("aggregate exposition failed strict parse: %v\n%s", err, out)
+	}
+
+	n := float64(l.Len())
+	for series, want := range map[string]float64{
+		`stream_ingested_total{tenant="a"}`: n,
+		`stream_ingested_total{tenant="b"}`: n,
+		"fleet_ingested_total":              2 * n,
+		"fleet_tenants_active":              2,
+		"fleet_tenants_known":               3, // a, b, default
+		"fleet_activations_total":           4, // two first uses + two reactivations
+		"fleet_evictions_total":             2,
+	} {
+		if v, ok := got[series]; !ok {
+			t.Errorf("series %q missing from aggregate exposition", series)
+		} else if v != want {
+			t.Errorf("%s = %v, want %v", series, v, want)
+		}
+	}
+	if strings.Count(out, "# TYPE stream_ingested_total counter") != 1 {
+		t.Error("per-tenant families not merged under one TYPE header")
+	}
+
+	var sb2 strings.Builder
+	if err := reg.WriteMetrics(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("aggregate exposition is not byte-stable across scrapes")
+	}
+}
+
+// TestRollupsSurviveEviction pins the retire/unretire accounting: fleet
+// totals must not move when a tenant is evicted (its counters shift to
+// the retired baseline) nor when it reactivates (recovery restores them
+// and the baseline shifts back) — no dip, no double count.
+func TestRollupsSurviveEviction(t *testing.T) {
+	l := genLog(t, 9, 4)
+	reg := mustFleet(t, Config{Root: t.TempDir()})
+	defer reg.Close()
+
+	h, err := reg.Acquire("x", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestEvents(t, h.Service(), l.Events)
+	h.Release()
+	if err := reg.Evict("x"); err != nil { // drain so totals are settled
+		t.Fatal(err)
+	}
+
+	read := func() map[string]float64 {
+		var sb strings.Builder
+		if err := reg.WriteMetrics(&sb); err != nil {
+			t.Fatal(err)
+		}
+		got, err := obsv.ParseText(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	evicted := read()
+	if evicted["fleet_ingested_total"] != float64(l.Len()) {
+		t.Fatalf("evicted rollup = %v, want %d", evicted["fleet_ingested_total"], l.Len())
+	}
+	if _, ok := evicted[`stream_ingested_total{tenant="x"}`]; ok {
+		t.Error("evicted tenant still exposes labeled series")
+	}
+
+	if h, err = reg.Acquire("x", false); err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	active := read()
+	if active["fleet_ingested_total"] != float64(l.Len()) {
+		t.Errorf("reactivated rollup = %v, want %d (recovered counters double-counted?)",
+			active["fleet_ingested_total"], l.Len())
+	}
+	if active[`stream_ingested_total{tenant="x"}`] != float64(l.Len()) {
+		t.Errorf(`stream_ingested_total{tenant="x"} = %v, want %d`,
+			active[`stream_ingested_total{tenant="x"}`], l.Len())
+	}
+	for _, rollup := range []string{"fleet_processed_total", "fleet_warnings_total", "fleet_fatals_total"} {
+		if active[rollup] != evicted[rollup] {
+			t.Errorf("%s moved across reactivation: %v -> %v", rollup, evicted[rollup], active[rollup])
+		}
+	}
+}

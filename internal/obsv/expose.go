@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -17,23 +18,7 @@ const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
 // exposition format (families in registration order, series in label
 // order, # HELP / # TYPE headers once per family).
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	r.mu.Lock()
-	fams := make([]*family, 0, len(r.order))
-	for _, name := range r.order {
-		fams = append(fams, r.families[name])
-	}
-	r.mu.Unlock()
-	for _, fam := range fams {
-		if fam.help != "" {
-			fmt.Fprintf(bw, "# HELP %s %s\n", fam.name, escapeHelp(fam.help))
-		}
-		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.name, fam.kind)
-		for _, key := range fam.order {
-			writeInstrument(bw, fam, fam.insts[key])
-		}
-	}
-	return bw.Flush()
+	return WriteMergedPrometheus(w, LabeledRegistry{Registry: r})
 }
 
 // Handler serves WritePrometheus over HTTP (GET /metrics).
@@ -44,23 +29,139 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
-func writeInstrument(w io.Writer, fam *family, inst *instrument) {
+// LabeledRegistry pairs a registry with constant labels appended to every
+// series it contributes to a merged exposition — fleet mode scrapes many
+// per-tenant registries through one endpoint, each tagged tenant="<id>".
+type LabeledRegistry struct {
+	Registry *Registry
+	Labels   []Label
+}
+
+// famSource is one registry's contribution to a merged family: the family
+// plus a consistent snapshot of its instruments (taken under the
+// registry lock, so a concurrent get-or-create cannot race the render).
+type famSource struct {
+	fam   *family
+	insts []*instrument
+	extra []Label
+}
+
+// WriteMergedPrometheus renders several registries as one exposition.
+// Families sharing a name are grouped under a single # HELP / # TYPE
+// header (the text format requires each family to appear exactly once);
+// within a family, series appear part by part in per-registry
+// registration order, each carrying its part's extra labels merged into
+// sorted-key position. The rendering is deterministic: families in
+// first-seen registration order, labels sorted by key with the histogram
+// "le" label always last. A name registered as different kinds across
+// parts, an invalid extra label name, or an extra label colliding with a
+// series' own label is an error.
+func WriteMergedPrometheus(w io.Writer, parts ...LabeledRegistry) error {
+	var order []string
+	groups := make(map[string][]famSource)
+	for _, part := range parts {
+		for _, l := range part.Labels {
+			if !validName(l.Key) {
+				return fmt.Errorf("obsv: invalid extra label name %q", l.Key)
+			}
+		}
+		r := part.Registry
+		r.mu.Lock()
+		srcs := make([]famSource, 0, len(r.order))
+		for _, name := range r.order {
+			fam := r.families[name]
+			src := famSource{fam: fam, extra: part.Labels,
+				insts: make([]*instrument, len(fam.order))}
+			for i, key := range fam.order {
+				src.insts[i] = fam.insts[key]
+			}
+			srcs = append(srcs, src)
+		}
+		r.mu.Unlock()
+		for _, src := range srcs {
+			name := src.fam.name
+			if prev, ok := groups[name]; ok {
+				if prev[0].fam.kind != src.fam.kind {
+					return fmt.Errorf("obsv: family %q registered as %s and %s across merged registries",
+						name, prev[0].fam.kind, src.fam.kind)
+				}
+			} else {
+				order = append(order, name)
+			}
+			groups[name] = append(groups[name], src)
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	for _, name := range order {
+		srcs := groups[name]
+		// The first part to register a family supplies its header; later
+		// parts typically registered the same help text anyway (fleet
+		// tenants share one instrument set).
+		help := ""
+		for _, src := range srcs {
+			if src.fam.help != "" {
+				help = src.fam.help
+				break
+			}
+		}
+		if help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, srcs[0].fam.kind)
+		for _, src := range srcs {
+			for _, inst := range src.insts {
+				if err := writeInstrument(bw, src.fam, inst, src.extra); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeInstrument(w io.Writer, fam *family, inst *instrument, extra []Label) error {
+	labels, err := mergeLabels(inst.labels, extra)
+	if err != nil {
+		return fmt.Errorf("obsv: family %q: %w", fam.name, err)
+	}
 	switch fam.kind {
 	case counterKind:
-		fmt.Fprintf(w, "%s%s %d\n", fam.name, labelString(inst.labels), inst.c.Value())
+		fmt.Fprintf(w, "%s%s %d\n", fam.name, labelString(labels), inst.c.Value())
 	case gaugeKind:
-		fmt.Fprintf(w, "%s%s %s\n", fam.name, labelString(inst.labels), formatFloat(inst.g.Value()))
+		fmt.Fprintf(w, "%s%s %s\n", fam.name, labelString(labels), formatFloat(inst.g.Value()))
 	case histogramKind:
 		cum, count, sum := inst.h.snapshot()
 		for i, bound := range fam.buckets {
 			fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name,
-				labelString(append(append([]Label(nil), inst.labels...), Label{"le", formatFloat(bound)})), cum[i])
+				labelString(append(append([]Label(nil), labels...), Label{"le", formatFloat(bound)})), cum[i])
 		}
 		fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name,
-			labelString(append(append([]Label(nil), inst.labels...), Label{"le", "+Inf"})), cum[len(cum)-1])
-		fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, labelString(inst.labels), formatFloat(sum))
-		fmt.Fprintf(w, "%s_count%s %d\n", fam.name, labelString(inst.labels), count)
+			labelString(append(append([]Label(nil), labels...), Label{"le", "+Inf"})), cum[len(cum)-1])
+		fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, labelString(labels), formatFloat(sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", fam.name, labelString(labels), count)
 	}
+	return nil
+}
+
+// mergeLabels folds the extra labels into an already-sorted base set,
+// keeping the whole result sorted by key and rejecting duplicates (an
+// extra label shadowing a series' own label would silently merge two
+// distinct series into one).
+func mergeLabels(base, extra []Label) ([]Label, error) {
+	if len(extra) == 0 {
+		return base, nil
+	}
+	out := make([]Label, 0, len(base)+len(extra))
+	out = append(out, base...)
+	out = append(out, extra...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	for i := 1; i < len(out); i++ {
+		if out[i].Key == out[i-1].Key {
+			return nil, fmt.Errorf("duplicate label %q after merging extra labels", out[i].Key)
+		}
+	}
+	return out, nil
 }
 
 // labelString renders a sorted label set as {k="v",...}, or "" when empty.

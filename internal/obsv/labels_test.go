@@ -1,0 +1,202 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLabeledSeriesRoundTrip pins writer/parser agreement on label
+// escaping: values carrying quotes, backslashes and newlines must render,
+// re-parse, and land on the exact escaped series key the writer emitted.
+func TestLabeledSeriesRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events_total", "per-source events",
+		Label{Key: "src", Value: `quoted"here`}).Add(3)
+	r.Counter("events_total", "",
+		Label{Key: "src", Value: `back\slash`}).Add(5)
+	r.Counter("events_total", "",
+		Label{Key: "src", Value: "new\nline"}).Add(7)
+	r.Gauge("depth", "", Label{Key: "queue", Value: "shard0"}, Label{Key: "tier", Value: "hot"}).Set(2)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, sb.String())
+	}
+	for series, want := range map[string]float64{
+		`events_total{src="quoted\"here"}`: 3,
+		`events_total{src="back\\slash"}`:  5,
+		`events_total{src="new\nline"}`:    7,
+		`depth{queue="shard0",tier="hot"}`: 2,
+	} {
+		if v, ok := got[series]; !ok {
+			t.Errorf("series %q missing from exposition:\n%s", series, sb.String())
+		} else if v != want {
+			t.Errorf("%s = %v, want %v", series, v, want)
+		}
+	}
+}
+
+// TestLabeledHistogramRoundTrip pins that extra labels reach every line
+// of a histogram family — buckets, _sum and _count — with the "le" label
+// rendered last, and that the result survives the strict parser.
+func TestLabeledHistogramRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.5, 1}, Label{Key: "stage", Value: "seq"})
+	h.Observe(0.4)
+	h.Observe(2)
+
+	var sb strings.Builder
+	if err := WriteMergedPrometheus(&sb, LabeledRegistry{Registry: r,
+		Labels: []Label{{Key: "tenant", Value: "t1"}}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, sb.String())
+	}
+	for series, want := range map[string]float64{
+		`lat_seconds_bucket{stage="seq",tenant="t1",le="0.5"}`:  1,
+		`lat_seconds_bucket{stage="seq",tenant="t1",le="1"}`:    1,
+		`lat_seconds_bucket{stage="seq",tenant="t1",le="+Inf"}`: 2,
+		`lat_seconds_sum{stage="seq",tenant="t1"}`:              2.4,
+		`lat_seconds_count{stage="seq",tenant="t1"}`:            2,
+	} {
+		if v, ok := got[series]; !ok {
+			t.Errorf("series %q missing:\n%s", series, sb.String())
+		} else if v != want {
+			t.Errorf("%s = %v, want %v", series, v, want)
+		}
+	}
+}
+
+// TestMergedExpositionGroupsFamilies pins the fleet-shaped merge: two
+// registries carrying the same family names render as one family with a
+// single # TYPE header, tenant-labeled series side by side, and the
+// whole output is deterministic across calls.
+func TestMergedExpositionGroupsFamilies(t *testing.T) {
+	mk := func(n int64) *Registry {
+		r := NewRegistry()
+		r.Counter("stream_ingested_total", "Events accepted.").Add(n)
+		r.Gauge("stream_rules", "").Set(float64(n * 10))
+		return r
+	}
+	parts := []LabeledRegistry{
+		{Registry: mk(4), Labels: []Label{{Key: "tenant", Value: "a"}}},
+		{Registry: mk(9), Labels: []Label{{Key: "tenant", Value: "b"}}},
+	}
+
+	var sb strings.Builder
+	if err := WriteMergedPrometheus(&sb, parts...); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if n := strings.Count(out, "# TYPE stream_ingested_total counter"); n != 1 {
+		t.Errorf("family header appears %d times, want exactly 1:\n%s", n, out)
+	}
+	got, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, out)
+	}
+	for series, want := range map[string]float64{
+		`stream_ingested_total{tenant="a"}`: 4,
+		`stream_ingested_total{tenant="b"}`: 9,
+		`stream_rules{tenant="a"}`:          40,
+		`stream_rules{tenant="b"}`:          90,
+	} {
+		if v, ok := got[series]; !ok {
+			t.Errorf("series %q missing:\n%s", series, out)
+		} else if v != want {
+			t.Errorf("%s = %v, want %v", series, v, want)
+		}
+	}
+
+	var sb2 strings.Builder
+	if err := WriteMergedPrometheus(&sb2, parts...); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("merged exposition is not byte-stable across calls")
+	}
+}
+
+// TestMergedExpositionRejectsCollisions pins the two merge error paths:
+// a kind mismatch across registries and an extra label shadowing a
+// series' own label.
+func TestMergedExpositionRejectsCollisions(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("m", "")
+	b.Gauge("m", "")
+	var sb strings.Builder
+	if err := WriteMergedPrometheus(&sb, LabeledRegistry{Registry: a}, LabeledRegistry{Registry: b}); err == nil {
+		t.Error("kind mismatch across merged registries not rejected")
+	}
+
+	c := NewRegistry()
+	c.Counter("n", "", Label{Key: "tenant", Value: "inner"})
+	sb.Reset()
+	if err := WriteMergedPrometheus(&sb, LabeledRegistry{Registry: c,
+		Labels: []Label{{Key: "tenant", Value: "outer"}}}); err == nil {
+		t.Error("extra label colliding with a series label not rejected")
+	}
+
+	d := NewRegistry()
+	d.Counter("o", "")
+	sb.Reset()
+	if err := WriteMergedPrometheus(&sb, LabeledRegistry{Registry: d,
+		Labels: []Label{{Key: "bad label", Value: "x"}}}); err == nil {
+		t.Error("invalid extra label name not rejected")
+	}
+}
+
+// TestCounterFunc pins the computed-counter read path used by the fleet
+// rollups.
+func TestCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	base := int64(40)
+	r.CounterFunc("rollup_total", "computed", func() int64 { return base + 2 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["rollup_total"] != 42 {
+		t.Errorf("rollup_total = %v, want 42", got["rollup_total"])
+	}
+}
+
+// TestParseTextRejectsMalformedLabels pins the strict grammar: the
+// parser must refuse label blocks the writer could never emit instead of
+// quietly mis-splitting them.
+func TestParseTextRejectsMalformedLabels(t *testing.T) {
+	for _, in := range []string{
+		"# TYPE m counter\nm{k=\"v} 1\n",           // unterminated value
+		"# TYPE m counter\nm{k=\"v\",k=\"w\"} 1\n", // duplicate key
+		"# TYPE m counter\nm{} 1\n",                // empty label set
+		"# TYPE m counter\nm{k v} 1\n",             // missing =
+		"# TYPE m counter\nm{9k=\"v\"} 1\n",        // invalid key
+		"# TYPE m counter\nm{k=v} 1\n",             // unquoted value
+		"# TYPE m counter\nm{k=\"v\"\n",            // no closing brace
+		"# TYPE m counter\nm{k=\"a\\qb\"} 1\n",     // unknown escape
+		"# TYPE m counter\nm{k=\"v\"}x 1\n",        // garbage after block
+	} {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("malformed exposition accepted:\n%s", in)
+		}
+	}
+	// The quote-aware scanner must accept a value containing '}' and a
+	// space — shapes the old first-brace splitter broke on.
+	got, err := ParseText(strings.NewReader("# TYPE m counter\nm{k=\"a} b\"} 6\n"))
+	if err != nil {
+		t.Fatalf("value containing '}' and space rejected: %v", err)
+	}
+	if got[`m{k="a} b"}`] != 6 {
+		t.Errorf("series with tricky value parsed wrong: %v", got)
+	}
+}

@@ -102,6 +102,16 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	inst.g.fn = fn
 }
 
+// CounterFunc registers a counter whose value is computed by fn at read
+// time — for rollups whose ground truth lives elsewhere (fleet totals
+// summed over tenant services). fn must be monotone non-decreasing; the
+// registry cannot enforce that, so the caller owns counter semantics.
+// Re-registering the same name+labels replaces the function.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	inst := r.get(name, help, counterKind, nil, labels)
+	inst.c.fn = fn
+}
+
 // Histogram returns the histogram name{labels} with the given upper
 // bounds (ascending, +Inf appended implicitly), creating it on first use.
 // The bucket layout is fixed by the first registration of the name.
@@ -206,9 +216,13 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 // Instruments.
 // ---------------------------------------------------------------------------
 
-// Counter is a monotonically-increasing event count.
+// Counter is a monotonically-increasing event count. A counter
+// registered via CounterFunc computes its value at read time instead;
+// Inc/Add on such a counter mutate a hidden cell the function shadows,
+// so treat func-backed counters as read-only.
 type Counter struct {
-	v atomic.Int64
+	v  atomic.Int64
+	fn func() int64
 }
 
 // Inc adds one.
@@ -222,8 +236,14 @@ func (c *Counter) Add(n int64) {
 	c.v.Add(n)
 }
 
-// Value returns the current count.
-func (c *Counter) Value() int64 { return c.v.Load() }
+// Value returns the current count (calling the function for func
+// counters).
+func (c *Counter) Value() int64 {
+	if c.fn != nil {
+		return c.fn()
+	}
+	return c.v.Load()
+}
 
 // Gauge is an instantaneous value that can move both ways. A gauge
 // registered via GaugeFunc computes its value at read time instead.

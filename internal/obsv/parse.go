@@ -62,34 +62,94 @@ func ParseText(r io.Reader) (map[string]float64, error) {
 	return out, nil
 }
 
-// parseSample splits `name{labels} value` into series and value.
+// parseSample splits `name{labels} value` into series and value. The
+// label block is validated against exactly the grammar the exposition
+// writer emits: keys valid metric names, values double-quoted with only
+// the \\ , \" and \n escapes, pairs comma-separated with no padding, no
+// duplicate keys, and at least one pair when braces are present. Scanning
+// is quote-aware, so a label value containing '}' or a space cannot split
+// the line in the wrong place.
 func parseSample(line string) (string, float64, error) {
-	var name, rest string
-	if i := strings.IndexByte(line, '{'); i >= 0 {
-		j := strings.IndexByte(line, '}')
-		if j < i {
-			return "", 0, fmt.Errorf("unbalanced braces in %q", line)
-		}
-		name, rest = line[:j+1], strings.TrimSpace(line[j+1:])
-	} else {
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			return "", 0, fmt.Errorf("want `name value`, got %q", line)
-		}
-		name, rest = fields[0], fields[1]
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
 	}
-	base := name
-	if i := strings.IndexByte(base, '{'); i >= 0 {
-		base = base[:i]
+	name := line[:i]
+	if !validName(name) {
+		return "", 0, fmt.Errorf("invalid metric name %q", name)
 	}
-	if !validName(base) {
-		return "", 0, fmt.Errorf("invalid metric name %q", base)
+	series := name
+	if i < len(line) && line[i] == '{' {
+		end, err := scanLabels(line, i)
+		if err != nil {
+			return "", 0, err
+		}
+		series, i = line[:end], end
+	}
+	rest := strings.TrimSpace(line[i:])
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return "", 0, fmt.Errorf("want `name value`, got %q", line)
 	}
 	v, err := parseValue(rest)
 	if err != nil {
 		return "", 0, fmt.Errorf("bad value in %q: %w", line, err)
 	}
-	return name, v, nil
+	return series, v, nil
+}
+
+// scanLabels validates the {k="v",...} block starting at line[open] ==
+// '{' and returns the index just past the closing brace.
+func scanLabels(line string, open int) (int, error) {
+	i := open + 1
+	var seen []string
+	for {
+		start := i
+		for i < len(line) && line[i] != '=' {
+			if line[i] == '}' || line[i] == ',' || line[i] == '"' {
+				return 0, fmt.Errorf("malformed label block in %q", line)
+			}
+			i++
+		}
+		if i >= len(line) {
+			return 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		key := line[start:i]
+		if !validName(key) {
+			return 0, fmt.Errorf("invalid label name %q in %q", key, line)
+		}
+		for _, k := range seen {
+			if k == key {
+				return 0, fmt.Errorf("duplicate label %q in %q", key, line)
+			}
+		}
+		seen = append(seen, key)
+		i++ // '='
+		if i >= len(line) || line[i] != '"' {
+			return 0, fmt.Errorf("label %q: value must be double-quoted in %q", key, line)
+		}
+		i++
+		for i < len(line) && line[i] != '"' {
+			if line[i] == '\\' {
+				i++
+				if i >= len(line) || (line[i] != '\\' && line[i] != '"' && line[i] != 'n') {
+					return 0, fmt.Errorf("label %q: bad escape in %q", key, line)
+				}
+			}
+			i++
+		}
+		if i >= len(line) {
+			return 0, fmt.Errorf("label %q: unterminated value in %q", key, line)
+		}
+		i++ // closing quote
+		if i < len(line) && line[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(line) && line[i] == '}' {
+			return i + 1, nil
+		}
+		return 0, fmt.Errorf("malformed label block in %q", line)
+	}
 }
 
 // parseValue accepts exactly the value forms the exposition writer emits:

@@ -1,0 +1,69 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// tenantsSubdir is where a fleet root keeps per-tenant state, one
+// directory per tenant ID, each holding that tenant's own WAL and
+// snapshots (the layout Open already manages per directory).
+const tenantsSubdir = "tenants"
+
+// MaxTenantIDLen bounds tenant IDs so they stay comfortable as both
+// directory names and metric label values.
+const MaxTenantIDLen = 64
+
+// ValidTenantID reports whether id is safe to use as an on-disk tenant
+// directory name: 1..MaxTenantIDLen characters from [A-Za-z0-9._-], and
+// not the path-meaningful names "." or "..". The HTTP layer rejects
+// anything else with a 400 *before* any filesystem path is formed, so a
+// request carrying "../" can never address state outside the fleet root.
+func ValidTenantID(id string) bool {
+	if id == "" || len(id) > MaxTenantIDLen || id == "." || id == ".." {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c == '.' || c == '_' || c == '-' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TenantDir returns the state directory for tenant id under the fleet
+// root, refusing invalid IDs rather than joining them into a path.
+func TenantDir(root, id string) (string, error) {
+	if !ValidTenantID(id) {
+		return "", fmt.Errorf("persist: invalid tenant id %q", id)
+	}
+	return filepath.Join(root, tenantsSubdir, id), nil
+}
+
+// ListTenantDirs returns the IDs of every tenant with a state directory
+// under root, sorted. A root with no tenants directory yet is an empty
+// fleet, not an error. Entries that are not directories or that carry
+// names ValidTenantID rejects are skipped: they cannot have been created
+// by TenantDir, so they are someone else's files.
+func ListTenantDirs(root string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(root, tenantsSubdir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() && ValidTenantID(e.Name()) {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}

@@ -1,0 +1,71 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestValidTenantID(t *testing.T) {
+	for _, id := range []string{"default", "a", "Tenant-1", "rack_07", "v1.2", strings.Repeat("x", 64)} {
+		if !ValidTenantID(id) {
+			t.Errorf("ValidTenantID(%q) = false, want true", id)
+		}
+	}
+	for _, id := range []string{
+		"", ".", "..", "a/b", "a\\b", "../x", "a b", "a\x00b", "é",
+		strings.Repeat("x", 65),
+	} {
+		if ValidTenantID(id) {
+			t.Errorf("ValidTenantID(%q) = true, want false", id)
+		}
+	}
+}
+
+func TestTenantDirRefusesTraversal(t *testing.T) {
+	root := t.TempDir()
+	for _, id := range []string{"..", "../other", "a/b", ""} {
+		if dir, err := TenantDir(root, id); err == nil {
+			t.Errorf("TenantDir(%q) = %q, want error", id, dir)
+		}
+	}
+	dir, err := TenantDir(root, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(root, "tenants", "alpha"); dir != want {
+		t.Errorf("TenantDir = %q, want %q", dir, want)
+	}
+}
+
+func TestListTenantDirs(t *testing.T) {
+	root := t.TempDir()
+	if ids, err := ListTenantDirs(root); err != nil || ids != nil {
+		t.Fatalf("empty root: got %v, %v; want nil, nil", ids, err)
+	}
+	for _, id := range []string{"beta", "alpha"} {
+		dir, err := TenantDir(root, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Strays that TenantDir could never have created are skipped.
+	if err := os.WriteFile(filepath.Join(root, "tenants", "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "tenants", "bad name"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := ListTenantDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"alpha", "beta"}; !reflect.DeepEqual(ids, want) {
+		t.Errorf("ListTenantDirs = %v, want %v", ids, want)
+	}
+}

@@ -57,9 +57,9 @@ type Predictor struct {
 	// Sliding window of recent events (Algorithm 2 step 1), held in rings
 	// so steady-state admit/evict moves indexes instead of copying slices.
 	recent     recentRing
-	classCount []int32   // class -> multiplicity within the window, dense
-	fatalTimes timeRing  // fatal timestamps within the window
-	lastFatal  int64     // ms; -1 until the first fatal is seen
+	classCount []int32  // class -> multiplicity within the window, dense
+	fatalTimes timeRing // fatal timestamps within the window
+	lastFatal  int64    // ms; -1 until the first fatal is seen
 
 	// lastWarn deduplicates per expert family: at most one open warning
 	// per family at a time. Families are deduplicated independently so a

@@ -1,0 +1,57 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRetrainLimiterBound hammers a cap-3 limiter from 32 goroutines and
+// pins the invariants the fleet leans on: Active never exceeds the cap
+// (checked inside the critical section), Peak records a true high-water
+// mark, and everything drains back to zero.
+func TestRetrainLimiterBound(t *testing.T) {
+	lim := NewRetrainLimiter(3)
+	if lim.Cap() != 3 {
+		t.Fatalf("Cap() = %d, want 3", lim.Cap())
+	}
+	var wg sync.WaitGroup
+	errs := make(chan int64, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				lim.acquire()
+				if a := lim.Active(); a > 3 {
+					select {
+					case errs <- a:
+					default:
+					}
+				}
+				lim.release()
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case a := <-errs:
+		t.Fatalf("Active() reached %d inside held slot, cap is 3", a)
+	default:
+	}
+	if p := lim.Peak(); p < 1 || p > 3 {
+		t.Errorf("Peak() = %d, want in [1,3]", p)
+	}
+	if a := lim.Active(); a != 0 {
+		t.Errorf("Active() = %d after drain, want 0", a)
+	}
+}
+
+// TestRetrainLimiterClamp pins the n<1 clamp.
+func TestRetrainLimiterClamp(t *testing.T) {
+	if c := NewRetrainLimiter(0).Cap(); c != 1 {
+		t.Errorf("Cap() = %d for n=0, want 1", c)
+	}
+	if c := NewRetrainLimiter(-5).Cap(); c != 1 {
+		t.Errorf("Cap() = %d for n=-5, want 1", c)
+	}
+}

@@ -78,6 +78,11 @@ type Config struct {
 	// Apriori counting, reviser scoring): 0 means GOMAXPROCS, 1 forces
 	// the serial pipeline. The trained rule set is identical either way.
 	Parallelism int
+	// RetrainLimiter bounds concurrent *background* training passes
+	// across every service sharing it (fleet mode: thousands of tenants
+	// must not rebuild rules simultaneously). Nil means unlimited.
+	// Inline passes — SyncRetrain, WAL replay, TrainNow — bypass it.
+	RetrainLimiter *RetrainLimiter
 
 	// Shards is the number of parallel temporal-filter/categorizer
 	// workers. Zero means 4.
@@ -796,6 +801,16 @@ func (s *Service) maybeRetrain() {
 		// train inline regardless of configuration — the events that would
 		// have fed a background pass are being replayed synchronously.
 		s.retrain(at, from, snapshot)
+	} else if lim := s.cfg.RetrainLimiter; lim != nil {
+		// Fleet mode: wait for a fleet-wide training slot off the hot
+		// path. Ingestion and prediction continue on the old rules while
+		// the pass queues; s.retraining stays set, so this service cannot
+		// stack up a second pending pass behind the first.
+		go func() {
+			lim.acquire()
+			defer lim.release()
+			s.retrain(at, from, snapshot)
+		}()
 	} else {
 		go s.retrain(at, from, snapshot)
 	}

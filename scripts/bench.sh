@@ -2,8 +2,9 @@
 # Component benchmark snapshot: runs the training-pipeline and serving
 # hot-path benchmarks (BenchmarkMetaTrain serial/parallel,
 # BenchmarkReviseParallel, BenchmarkMine, BenchmarkFilter,
-# BenchmarkStreamObserve, BenchmarkIngestBatch, BenchmarkParseLine) with
-# -benchmem and writes the parsed numbers to BENCH_5.json, so
+# BenchmarkStreamObserve, BenchmarkIngestBatch,
+# BenchmarkFleetIngestBatch, BenchmarkParseLine) with
+# -benchmem and writes the parsed numbers to BENCH_6.json, so
 # performance work has a committed before/after record. Wall-clock
 # speedups depend on the machine: the snapshot records GOMAXPROCS
 # alongside every number.
@@ -12,20 +13,22 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_5.json}"
+OUT="${1:-BENCH_6.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 BENCHTIME="${BENCHTIME:-5x}"
 # The serving hot path is sub-microsecond per event; give it enough
-# iterations that per-op numbers mean something.
-STREAMTIME="${STREAMTIME:-20000x}"
+# iterations that per-op numbers mean something and the fixed
+# drain-on-close cost is amortized away (the fleet row pays a registry
+# close too — under ~10^5 events it reads artificially slow).
+STREAMTIME="${STREAMTIME:-200000x}"
 
 echo "== component benchmarks (benchtime $BENCHTIME)"
 go test -run '^$' -bench 'BenchmarkMetaTrain$|BenchmarkReviseParallel$|BenchmarkFilter$' \
     -benchmem -benchtime "$BENCHTIME" . | tee "$TMP"
 echo "== serving hot path (benchtime $STREAMTIME)"
-go test -run '^$' -bench 'BenchmarkStreamObserve$|BenchmarkIngestBatch$' \
+go test -run '^$' -bench 'BenchmarkStreamObserve$|BenchmarkIngestBatch$|BenchmarkFleetIngestBatch$' \
     -benchmem -benchtime "$STREAMTIME" . | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkParseLine$' \
     -benchmem -benchtime "$STREAMTIME" ./internal/raslog/ | tee -a "$TMP"

@@ -6,6 +6,11 @@
 # a sane event count. The unit suite proves byte-level state equivalence
 # (internal/stream/recover_test.go); this script proves the real binary,
 # real HTTP, real kill -9 path end to end.
+#
+# A second phase repeats the exercise in fleet mode: two tenants fed
+# through one -fleet daemon, killed -9, restarted (both recover from
+# <state>/tenants/<id>/), then shut down gracefully (SIGTERM must close
+# every tenant cleanly and exit 0).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -32,9 +37,9 @@ head -n "$HALF" "$TMP/feed.log" > "$TMP/first.log"
 tail -n "$REST" "$TMP/feed.log" > "$TMP/second.log"
 echo "smoke_restart: feed has $TOTAL events ($HALF + $REST)"
 
-start_serve() {
+start_serve() { # start_serve [extra flags...] — always durable, short windows
     "$TMP/serve" -addr "127.0.0.1:$PORT" -train 3 -retrain 2 \
-        -state-dir "$TMP/state" >> "$TMP/serve.log" 2>&1 &
+        "$@" >> "$TMP/serve.log" 2>&1 &
     SERVE_PID=$!
     i=0
     until curl -fsS "$ADDR/healthz" > /dev/null 2>&1; do
@@ -48,17 +53,17 @@ start_serve() {
     done
 }
 
-stat_field() { # stat_field NAME — extract an integer field from /stats
-    curl -fsS "$ADDR/stats" | grep -o "\"$1\": *-*[0-9]*" | head -n 1 | grep -o '\-*[0-9]*$'
+stat_field() { # stat_field NAME [BASE] — extract an integer field from /stats
+    curl -fsS "${2:-$ADDR}/stats" | grep -o "\"$1\": *-*[0-9]*" | head -n 1 | grep -o '\-*[0-9]*$'
 }
 
 # Poll until the pipeline quiesces (sequenced stops moving), so the WAL
 # holds nearly everything before the kill.
-wait_quiesce() {
+wait_quiesce() { # wait_quiesce [BASE]
     prev=-1
     i=0
     while [ "$i" -lt 100 ]; do
-        cur=$(stat_field sequenced)
+        cur=$(stat_field sequenced "${1:-$ADDR}")
         [ "$cur" = "$prev" ] && return 0
         prev=$cur
         i=$((i + 1))
@@ -66,7 +71,7 @@ wait_quiesce() {
     done
 }
 
-start_serve
+start_serve -state-dir "$TMP/state"
 echo "smoke_restart: posting first half ($HALF events)"
 # The batch endpoint: each chunk is WAL-committed with one group fsync.
 curl -fsS -X POST --data-binary "@$TMP/first.log" "$ADDR/ingest/batch" > /dev/null
@@ -76,7 +81,7 @@ kill -9 "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 
-start_serve
+start_serve -state-dir "$TMP/state"
 grep -q "serve: recovered from" "$TMP/serve.log" || {
     echo "smoke_restart: FAIL: no recovery line in daemon log" >&2
     cat "$TMP/serve.log" >&2
@@ -109,4 +114,74 @@ if [ "$PROCESSED" -le 0 ]; then
 fi
 curl -fsS "$ADDR/warnings?n=5" > /dev/null
 
-echo "smoke_restart: OK (ingested $INGESTED/$TOTAL, processed $PROCESSED)"
+echo "smoke_restart: single-tenant OK (ingested $INGESTED/$TOTAL, processed $PROCESSED)"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+# --- Fleet phase: two tenants, one process, one kill -9 ------------------
+
+echo "smoke_restart: fleet phase — two tenants"
+ALPHA="$ADDR/t/alpha"
+BETA="$ADDR/t/beta"
+start_serve -fleet -state-dir "$TMP/fleet"
+# The first POST to a tenant's routes creates it (and its state dir).
+curl -fsS -X POST --data-binary "@$TMP/first.log" "$ALPHA/ingest/batch" > /dev/null
+curl -fsS -X POST --data-binary "@$TMP/second.log" "$BETA/ingest/batch" > /dev/null
+wait_quiesce "$ALPHA"
+wait_quiesce "$BETA"
+A_PRE=$(stat_field ingested "$ALPHA")
+B_PRE=$(stat_field ingested "$BETA")
+echo "smoke_restart: fleet pre-kill: alpha=$A_PRE beta=$B_PRE"
+echo "smoke_restart: kill -9 $SERVE_PID (fleet)"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+start_serve -fleet -state-dir "$TMP/fleet"
+TENANTS=$(curl -fsS "$ADDR/tenants")
+for id in alpha beta; do
+    echo "$TENANTS" | grep -q "\"id\": *\"$id\"" || {
+        echo "smoke_restart: FAIL: /tenants missing $id after fleet restart: $TENANTS" >&2
+        exit 1
+    }
+done
+A_REC=$(stat_field ingested "$ALPHA")
+B_REC=$(stat_field ingested "$BETA")
+if [ "$A_REC" -le 0 ] || [ "$A_REC" -gt "$A_PRE" ] ||
+   [ "$B_REC" -le 0 ] || [ "$B_REC" -gt "$B_PRE" ]; then
+    echo "smoke_restart: FAIL: fleet recovery out of range (alpha $A_REC/$A_PRE, beta $B_REC/$B_PRE)" >&2
+    exit 1
+fi
+curl -fsS "$ALPHA/stats" | grep -q '"recovery"' || {
+    echo "smoke_restart: FAIL: alpha /stats has no recovery block after fleet restart" >&2
+    exit 1
+}
+echo "smoke_restart: fleet restarted (alpha $A_REC/$A_PRE, beta $B_REC/$B_PRE recovered)"
+
+# Aggregate exposition: per-tenant labels plus fleet rollups.
+METRICS=$(curl -fsS "$ADDR/metrics")
+echo "$METRICS" | grep -q 'tenant="alpha"' || {
+    echo "smoke_restart: FAIL: /metrics has no tenant=\"alpha\" series" >&2
+    exit 1
+}
+echo "$METRICS" | grep -q '^fleet_ingested_total ' || {
+    echo "smoke_restart: FAIL: /metrics has no fleet_ingested_total rollup" >&2
+    exit 1
+}
+# Legacy unprefixed routes alias the default tenant.
+curl -fsS "$ADDR/stats" > /dev/null
+curl -fsS "$ADDR/warnings?all=1&n=5" > /dev/null
+
+# Graceful shutdown must close every tenant (snapshot + WAL seal) and
+# exit 0 — a hung tenant or failed close turns into a nonzero status.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+grep -q "serve: fleet drained" "$TMP/serve.log" || {
+    echo "smoke_restart: FAIL: no fleet-drained line after SIGTERM" >&2
+    cat "$TMP/serve.log" >&2
+    exit 1
+}
+
+echo "smoke_restart: OK (single-tenant ingested $INGESTED/$TOTAL; fleet alpha $A_REC, beta $B_REC)"

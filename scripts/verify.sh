@@ -13,14 +13,16 @@ echo "== go test ./..."
 go test ./...
 echo "== allocation budgets (-count=1)"
 # The zero-allocation serving guarantees, re-measured every run: parse,
-# filter stages, predictor observe, and the whole stream pipeline.
+# filter stages, predictor observe, the whole stream pipeline, and the
+# fleet-routed path (multi-tenancy must add no per-event cost).
 go test -count=1 -run 'AllocBudget' \
-    ./internal/raslog ./internal/preprocess ./internal/predictor ./internal/stream
-echo "== go test -race -count=1 ./internal/stream ./internal/predictor ./internal/obsv ./internal/persist"
+    ./internal/raslog ./internal/preprocess ./internal/predictor ./internal/stream ./internal/fleet
+echo "== go test -race -count=1 ./internal/stream ./internal/predictor ./internal/obsv ./internal/persist ./internal/fleet"
 # -count=1 defeats the test cache: the concurrency-critical packages
-# (pipeline, predictor swap, metrics registry, durable state) re-run
-# under the race detector every time, even when nothing changed.
-go test -race -count=1 ./internal/stream ./internal/predictor ./internal/obsv ./internal/persist
+# (pipeline, predictor swap, metrics registry, durable state, tenant
+# lifecycle) re-run under the race detector every time, even when
+# nothing changed.
+go test -race -count=1 ./internal/stream ./internal/predictor ./internal/obsv ./internal/persist ./internal/fleet
 echo "== go test -race ./..."
 go test -race ./...
 echo "== scripts/smoke_restart.sh"
