@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/learner"
+	"repro/internal/learner/incr"
 	"repro/internal/meta"
 	"repro/internal/predictor"
 	"repro/internal/preprocess"
@@ -82,6 +83,13 @@ type Config struct {
 	// The cache is exact (see learner.EventSetCache); the switch exists
 	// for equivalence testing and measurement.
 	NoEventSetReuse bool
+	// Incremental maintains the learners' sufficient statistics across
+	// retrainings (internal/learner/incr): each pass delta-applies the
+	// window slide instead of re-mining the whole training set, with
+	// byte-identical results. Subsumes the event-set cache. The batch
+	// path remains the fallback for parameter changes, backwards windows
+	// and drift (see Retraining.Incr for what each pass actually did).
+	Incremental bool
 	// Metrics, when non-nil, records every (re)training pass — duration,
 	// per-learner time, reviser time, rule churn — into an obsv registry:
 	// the live version of Table 5. Nil disables recording.
@@ -141,6 +149,24 @@ type Retraining struct {
 	LearnerDurations map[string]time.Duration
 	ReviseDuration   time.Duration
 	Total            time.Duration
+	// Incr describes the incremental sufficient-statistics advance behind
+	// this pass; nil when the pass ran without incremental maintenance.
+	Incr *IncrInfo
+}
+
+// IncrInfo records what the incremental maintainer did for one pass:
+// the delta it applied, or the full-rebuild fallback it fell into.
+type IncrInfo struct {
+	// Applied and Expired count the events that entered / left the
+	// training window in this advance.
+	Applied int
+	Expired int
+	// Rebuild marks a full rebuild fallback; Reason says why.
+	Rebuild bool
+	Reason  string `json:",omitempty"`
+	// AdvanceDuration is the time spent updating the sufficient
+	// statistics (the delta-apply itself, excluding rule emission).
+	AdvanceDuration time.Duration
 }
 
 // Result is the outcome of an engine run.
@@ -216,6 +242,12 @@ func Run(events []preprocess.TaggedEvent, start int64, weeks int, cfg Config) (*
 	if !cfg.NoEventSetReuse {
 		setCache = learner.NewEventSetCache()
 	}
+	// incrState additionally carries the learners' sufficient statistics
+	// across retrainings, turning each pass into a delta-apply.
+	var incrState *incr.State
+	if cfg.Incremental {
+		incrState = incr.New(meta.IncrConfig(ml, params))
+	}
 
 	weekMs := int64(raslog.MillisPerWeek)
 	at := func(week int) int64 { return start + int64(week)*weekMs }
@@ -251,7 +283,14 @@ func Run(events []preprocess.TaggedEvent, start int64, weeks int, cfg Config) (*
 			}
 		}
 		pre := learner.Prepare(slice)
-		if setCache != nil {
+		var incrInfo *IncrInfo
+		if incrState != nil {
+			ta := time.Now()
+			d := incrState.Advance(events, from, to, params)
+			incrState.Install(pre)
+			incrInfo = &IncrInfo{Applied: d.Applied, Expired: d.Expired,
+				Rebuild: d.Rebuild, Reason: d.Reason, AdvanceDuration: time.Since(ta)}
+		} else if setCache != nil {
 			pre.SetsFor = func(windowMs int64, maxItems int) []learner.EventSet {
 				return setCache.Sets(events, from, to, windowMs, maxItems)
 			}
@@ -262,6 +301,7 @@ func Run(events []preprocess.TaggedEvent, start int64, weeks int, cfg Config) (*
 			return err
 		}
 		rt.Week = effectiveWeek
+		rt.Incr = incrInfo
 		rt.Total = time.Since(t0) // include the tuner's share
 		cfg.Metrics.Record(rt)
 		res.Retrainings = append(res.Retrainings, rt)

@@ -26,6 +26,11 @@ type TrainingMetrics struct {
 	duration *obsv.Histogram
 	revise   *obsv.Histogram
 
+	incrApplied  *obsv.Counter
+	incrExpired  *obsv.Counter
+	incrRebuilds *obsv.Counter
+	incrAdvance  *obsv.Histogram
+
 	rulesUnchanged *obsv.Counter
 	rulesAdded     *obsv.Counter
 	rulesRemoved   *obsv.Counter
@@ -45,6 +50,14 @@ func NewTrainingMetrics(reg *obsv.Registry) *TrainingMetrics {
 		duration: reg.Histogram("train_duration_seconds", "Total duration of one (re)training pass.", trainBuckets),
 		revise: reg.Histogram("train_revise_duration_seconds",
 			"Ensemble + revising time of one pass (Table 5).", learnerBuckets),
+		incrApplied: reg.Counter("train_incr_applied_events_total",
+			"Events delta-applied at the window end across incremental retrains."),
+		incrExpired: reg.Counter("train_incr_expired_events_total",
+			"Events expired at the window start across incremental retrains."),
+		incrRebuilds: reg.Counter("train_incr_rebuilds_total",
+			"Incremental retrains that fell back to a full sufficient-statistics rebuild."),
+		incrAdvance: reg.Histogram("train_incr_advance_duration_seconds",
+			"Sufficient-statistics delta-apply time of one incremental retrain.", learnerBuckets),
 		rulesUnchanged: reg.Counter("train_rules_unchanged_total",
 			"Rules re-learned unchanged across retrainings (Figure 12)."),
 		rulesAdded: reg.Counter("train_rules_added_total",
@@ -65,6 +78,23 @@ func (tm *TrainingMetrics) Record(rt Retraining) {
 	tm.passes.Inc()
 	tm.duration.Observe(rt.Total.Seconds())
 	tm.revise.Observe(rt.ReviseDuration.Seconds())
+	mode := "full"
+	if rt.Incr != nil {
+		tm.incrApplied.Add(int64(rt.Incr.Applied))
+		tm.incrExpired.Add(int64(rt.Incr.Expired))
+		tm.incrAdvance.Observe(rt.Incr.AdvanceDuration.Seconds())
+		if rt.Incr.Rebuild {
+			tm.incrRebuilds.Inc()
+		} else {
+			mode = "incremental"
+		}
+	}
+	// The incremental-vs-full comparison histogram: one pass duration
+	// series per mode, so dashboards can overlay delta-apply retrains
+	// against full rebuilds (and non-incremental passes) directly.
+	tm.reg.Histogram("train_pass_duration_seconds",
+		"Total pass duration split by training mode.", trainBuckets,
+		obsv.Label{Key: "mode", Value: mode}).Observe(rt.Total.Seconds())
 	for name, d := range rt.LearnerDurations {
 		tm.reg.Histogram("train_learner_duration_seconds",
 			"Rule-generation time per base learner (Table 5).", learnerBuckets,

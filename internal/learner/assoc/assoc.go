@@ -65,8 +65,30 @@ func (l *Learner) Name() string { return "association" }
 
 // Learn implements learner.Learner: it mines the prepared view's event
 // sets — shared with any other learner asking for the same transactions.
+// When the view carries maintained itemset counts covering this
+// configuration (incremental retraining), mining runs off the counts
+// instead of rescanning the transactions; the output is byte-identical.
 func (l *Learner) Learn(tr *learner.Prepared, p learner.Params) ([]learner.Rule, error) {
+	if src := tr.Itemsets; src != nil &&
+		src.CanServeItemsets(p.Window(), l.MaxItems, l.EffectiveMaxBody()) {
+		return l.MineCounts(src)
+	}
 	return l.Mine(tr.EventSets(p, l.MaxItems))
+}
+
+// EffectiveMaxBody resolves the antecedent cap the miner actually uses:
+// the MaxBody knob defaulted and clamped to the packed-key limit. The
+// incremental maintainer sizes its subset enumeration from this.
+func (l *Learner) EffectiveMaxBody() int {
+	maxBody := l.MaxBody
+	if maxBody <= 0 {
+		maxBody = 3
+	}
+	if maxBody > maxPackedItems {
+		// Itemset keys pack into a uint64; larger bodies would collide.
+		maxBody = maxPackedItems
+	}
+	return maxBody
 }
 
 // Mine runs Apriori directly over prepared event sets (exposed separately
@@ -80,14 +102,7 @@ func (l *Learner) Mine(sets []learner.EventSet) ([]learner.Rule, error) {
 	if minCount < 1 {
 		minCount = 1
 	}
-	maxBody := l.MaxBody
-	if maxBody <= 0 {
-		maxBody = 3
-	}
-	if maxBody > maxPackedItems {
-		// Itemset keys pack into a uint64; larger bodies would collide.
-		maxBody = maxPackedItems
-	}
+	maxBody := l.EffectiveMaxBody()
 	workers := learner.Workers(l.Parallelism)
 	if max := (n + minSetsPerWorker - 1) / minSetsPerWorker; workers > max {
 		workers = max
@@ -132,7 +147,72 @@ func (l *Learner) Mine(sets []learner.EventSet) ([]learner.Rule, error) {
 		level = generateCandidates(kept)
 	}
 
-	// Cap by mining quality, then emit in a deterministic order.
+	return l.finishRules(rules), nil
+}
+
+// MineCounts runs the same level-wise Apriori as Mine, but against
+// maintained itemset counts instead of rescanning transactions: candidate
+// generation, thresholds and emission are shared logic over identical
+// integers, so the rule set is byte-identical to Mine over the window's
+// event sets — at a cost proportional to the candidate count, not the
+// window size. The caller must have checked CanServeItemsets.
+func (l *Learner) MineCounts(src learner.ItemsetCounts) ([]learner.Rule, error) {
+	n := src.NumSets()
+	if n == 0 {
+		return nil, nil
+	}
+	minCount := int(math.Ceil(l.MinSupport * float64(n)))
+	if minCount < 1 {
+		minCount = 1
+	}
+	maxBody := l.EffectiveMaxBody()
+
+	var rules []learner.Rule
+	frequent := src.FrequentItems(minCount) // level 1
+	level := make([]itemset, 0, len(frequent))
+	for _, it := range frequent {
+		level = append(level, itemset{items: []int{it}})
+	}
+	for k := 1; k <= maxBody && len(level) > 0; k++ {
+		var kept []itemset
+		for i := range level {
+			global, byTarget := src.ItemsetCount(level[i].items)
+			if global < minCount {
+				continue
+			}
+			kept = append(kept, level[i])
+			for _, tc := range byTarget {
+				if tc.Count < minCount {
+					continue
+				}
+				conf := float64(tc.Count) / float64(global)
+				if conf < l.MinConfidence {
+					continue
+				}
+				body := append([]int(nil), level[i].items...)
+				rules = append(rules, learner.Rule{
+					Kind:       learner.Association,
+					Body:       body,
+					Target:     tc.Target,
+					Confidence: conf,
+					Support:    float64(tc.Count) / float64(n),
+				})
+			}
+		}
+		if k == maxBody {
+			break
+		}
+		level = generateCandidates(kept)
+	}
+	return l.finishRules(rules), nil
+}
+
+// finishRules caps by mining quality, then emits in a deterministic
+// order. Both comparators are total orders (rule IDs are unique within
+// one mining pass), so the result does not depend on the order rules were
+// appended in — which is what lets Mine and MineCounts differ in
+// per-candidate target order yet return identical slices.
+func (l *Learner) finishRules(rules []learner.Rule) []learner.Rule {
 	if l.MaxRules > 0 && len(rules) > l.MaxRules {
 		sort.Slice(rules, func(i, j int) bool {
 			if rules[i].Confidence != rules[j].Confidence {
@@ -146,7 +226,7 @@ func (l *Learner) Mine(sets []learner.EventSet) ([]learner.Rule, error) {
 		rules = rules[:l.MaxRules]
 	}
 	sort.Slice(rules, func(i, j int) bool { return rules[i].ID() < rules[j].ID() })
-	return rules, nil
+	return rules
 }
 
 type itemset struct {

@@ -53,7 +53,14 @@ func (l *Learner) Name() string { return "bayes" }
 // counting for every non-fatal class how many of its occurrences are
 // followed by a fatal event within the window versus not, then emits an
 // indicator rule per class whose likelihood ratio clears the threshold.
+// When the prepared view carries maintained class tallies for this window
+// (incremental retraining), the scan is skipped and the identical rules
+// are emitted straight from the counts.
 func (l *Learner) Learn(tr *learner.Prepared, p learner.Params) ([]learner.Rule, error) {
+	if src := tr.Tallies; src != nil && src.CanServeTallies(p.Window()) {
+		perClass, positives, negatives := src.Tallies()
+		return l.rulesFromTallies(perClass, positives, negatives), nil
+	}
 	events := tr.Events
 	window := p.Window()
 
@@ -95,36 +102,60 @@ func (l *Learner) Learn(tr *learner.Prepared, p learner.Params) ([]learner.Rule,
 			negatives++
 		}
 	}
-	if positives == 0 || negatives == 0 {
-		return nil, nil
-	}
 
-	var rules []learner.Rule
+	// Project the maps into the canonical sorted tally form and share the
+	// emission path with the incremental counts.
+	tallies := make([]learner.ClassTally, 0, len(perClass))
 	for class, c := range perClass {
-		if c.followed < l.MinOccurrences {
+		t := learner.ClassTally{Class: class, Followed: c.followed, NotFollowed: c.notFollowed}
+		for f, n := range c.target {
+			t.Targets = append(t.Targets, learner.TargetCount{Target: f, Count: n})
+		}
+		sort.Slice(t.Targets, func(i, j int) bool { return t.Targets[i].Target < t.Targets[j].Target })
+		tallies = append(tallies, t)
+	}
+	sort.Slice(tallies, func(i, j int) bool { return tallies[i].Class < tallies[j].Class })
+	return l.rulesFromTallies(tallies, positives, negatives), nil
+}
+
+// rulesFromTallies emits indicator rules from per-class tallies (sorted
+// by class, targets sorted by target class). The target tie-break is
+// deterministic — highest count, then smallest class ID — so the batch
+// scan and the incremental maintainer produce identical rules no matter
+// what order their internals accumulated counts in.
+func (l *Learner) rulesFromTallies(perClass []learner.ClassTally, positives, negatives int) []learner.Rule {
+	if positives == 0 || negatives == 0 {
+		return nil
+	}
+	var rules []learner.Rule
+	for i := range perClass {
+		c := &perClass[i]
+		if c.Followed < l.MinOccurrences {
 			continue
 		}
 		// Laplace-smoothed likelihood ratio.
-		pPos := (float64(c.followed) + 1) / (float64(positives) + 2)
-		pNeg := (float64(c.notFollowed) + 1) / (float64(negatives) + 2)
+		pPos := (float64(c.Followed) + 1) / (float64(positives) + 2)
+		pNeg := (float64(c.NotFollowed) + 1) / (float64(negatives) + 2)
 		lr := pPos / pNeg
 		if lr < l.MinLikelihoodRatio {
 			continue
 		}
-		// The most frequent fatal class this indicator precedes.
+		// The most frequent fatal class this indicator precedes; ties go
+		// to the smallest class ID (Targets is sorted ascending, so the
+		// first maximum wins).
 		target, best := learner.AnyFatal, 0
-		for f, n := range c.target {
-			if n > best {
-				target, best = f, n
+		for _, tc := range c.Targets {
+			if tc.Count > best {
+				target, best = tc.Target, tc.Count
 			}
 		}
-		confidence := float64(c.followed) / float64(c.followed+c.notFollowed)
+		confidence := float64(c.Followed) / float64(c.Followed+c.NotFollowed)
 		rules = append(rules, learner.Rule{
 			Kind:       learner.Association,
-			Body:       []int{class},
+			Body:       []int{c.Class},
 			Target:     target,
 			Confidence: confidence,
-			Support:    math.Min(1, float64(c.followed)/float64(positives)),
+			Support:    math.Min(1, float64(c.Followed)/float64(positives)),
 		})
 	}
 	sort.Slice(rules, func(i, j int) bool {
@@ -137,7 +168,7 @@ func (l *Learner) Learn(tr *learner.Prepared, p learner.Params) ([]learner.Rule,
 		rules = rules[:l.MaxRules]
 	}
 	sort.Slice(rules, func(i, j int) bool { return rules[i].ID() < rules[j].ID() })
-	return rules, nil
+	return rules
 }
 
 // classOfFatalAt finds the class of the fatal event at timestamp t,

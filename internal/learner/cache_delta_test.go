@@ -1,0 +1,160 @@
+package learner
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/preprocess"
+)
+
+func deltaStream(seed int64, n int) []preprocess.TaggedEvent {
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]preprocess.TaggedEvent, n)
+	t := int64(0)
+	for i := range events {
+		t += int64(rng.Intn(15_000))
+		events[i].Time = t
+		events[i].Class = rng.Intn(30)
+		if rng.Float64() < 0.15 {
+			events[i].Fatal = true
+			events[i].Class = 100 + rng.Intn(3)
+		}
+	}
+	return events
+}
+
+// applyDelta checks that prev + delta == next as multisets, i.e. the
+// delta is exact — the invariant incremental Apriori counting relies on.
+func applyDelta(t *testing.T, prev, next []EventSet, d SetsDelta) {
+	t.Helper()
+	type key struct {
+		time   int64
+		target int
+	}
+	counts := make(map[key][]EventSet)
+	for _, s := range prev {
+		k := key{s.Time, s.Target}
+		counts[k] = append(counts[k], s)
+	}
+	remove := func(s EventSet) bool {
+		k := key{s.Time, s.Target}
+		for i, c := range counts[k] {
+			if equalItems(c.Items, s.Items) {
+				counts[k] = append(counts[k][:i], counts[k][i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range d.Removed {
+		if !remove(s) {
+			t.Fatalf("delta removed a set not present: %+v", s)
+		}
+	}
+	var rest []EventSet
+	for _, c := range counts {
+		rest = append(rest, c...)
+	}
+	rest = append(rest, d.Added...)
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].Time != rest[j].Time {
+			return rest[i].Time < rest[j].Time
+		}
+		return rest[i].Target < rest[j].Target
+	})
+	want := append([]EventSet(nil), next...)
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].Time != want[j].Time {
+			return want[i].Time < want[j].Time
+		}
+		return want[i].Target < want[j].Target
+	})
+	if !reflect.DeepEqual(rest, want) {
+		t.Fatalf("prev + delta != next (%d vs %d sets)", len(rest), len(want))
+	}
+}
+
+// TestEventSetCacheSlideByOne is the regression test for the overlap
+// reuse fix: sliding the window start past a single event must evict
+// only the expired prefix and rebuild only the boundary region — the
+// reported delta stays bounded by those, never a whole-set invalidation.
+func TestEventSetCacheSlideByOne(t *testing.T) {
+	events := deltaStream(3, 4000)
+	const windowMs = 120_000
+	span := events[len(events)-1].Time
+	winLen := span / 2
+
+	c := NewEventSetCache()
+	from, to := int64(0), winLen
+	cur, d := c.Advance(events, from, to, windowMs, 30)
+	if !d.Rebuild {
+		t.Fatal("first advance must rebuild")
+	}
+	// Advance reuses the returned slice in place, so the previous window
+	// must be snapshotted before the next call.
+	prev := append([]EventSet(nil), cur...)
+
+	for step := 0; step < 200 && to <= span; step++ {
+		// Slide the start past exactly one event, the end past a few.
+		i := sort.Search(len(events), func(i int) bool { return events[i].Time >= from })
+		if i+1 >= len(events) {
+			break
+		}
+		from = events[i].Time + 1
+		to += 3_000
+
+		next, d := c.Advance(events, from, to, windowMs, 30)
+		if d.Rebuild {
+			t.Fatalf("step %d: slide-by-one caused a rebuild", step)
+		}
+		applyDelta(t, prev, next, d)
+
+		// The delta must be local: expired sets (before the new start),
+		// boundary sets (within W_P of it), and the appended tail — the
+		// untouched middle never churns.
+		boundary := from + windowMs
+		for _, s := range d.Removed {
+			if s.Time >= boundary {
+				t.Fatalf("step %d: removed a set beyond the boundary region (t=%d, boundary=%d)", step, s.Time, boundary)
+			}
+		}
+		want := BuildEventSets(events[sort.Search(len(events), func(i int) bool { return events[i].Time >= from }):sort.Search(len(events), func(i int) bool { return events[i].Time >= to })], Params{WindowSec: windowMs / 1000}, 30)
+		if !reflect.DeepEqual(next, want) {
+			t.Fatalf("step %d: cached sets diverge from batch build", step)
+		}
+		prev = append(prev[:0], next...)
+	}
+}
+
+// TestEventSetCacheGrowOnly pins the fast path: when the window start
+// does not move, every previous set survives and the delta contains only
+// the appended tail.
+func TestEventSetCacheGrowOnly(t *testing.T) {
+	events := deltaStream(5, 3000)
+	const windowMs = 120_000
+	span := events[len(events)-1].Time
+
+	c := NewEventSetCache()
+	prev, _ := c.Advance(events, 0, span/2, windowMs, 30)
+	next, d := c.Advance(events, 0, span/2+span/8, windowMs, 30)
+	if d.Rebuild {
+		t.Fatal("end-only growth caused a rebuild")
+	}
+	if len(d.Removed) != 0 {
+		t.Fatalf("end-only growth removed %d sets", len(d.Removed))
+	}
+	for _, s := range d.Added {
+		if s.Time < span/2 {
+			t.Fatalf("end-only growth re-added a pre-existing set (t=%d)", s.Time)
+		}
+	}
+	if !reflect.DeepEqual(next[:len(prev)], prev) {
+		t.Fatal("end-only growth did not reuse the previous sets verbatim")
+	}
+	want := BuildEventSets(events[:sort.Search(len(events), func(i int) bool { return events[i].Time >= span/2+span/8 })], Params{WindowSec: windowMs / 1000}, 30)
+	if !reflect.DeepEqual(next, want) {
+		t.Fatal("cached sets diverge from batch build")
+	}
+}

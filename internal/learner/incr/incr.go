@@ -1,0 +1,346 @@
+// Package incr maintains the base learners' sufficient statistics
+// incrementally over a sliding training window, so a retrain becomes a
+// delta-apply plus reviser pass instead of a from-scratch mine.
+//
+// One State tracks, for the window [from, to):
+//
+//   - Apriori itemset counts: every subset (up to the body cap) of every
+//     event-set transaction, with per-target splits — served to
+//     assoc.MineCounts through learner.ItemsetCounts. Transactions are
+//     themselves maintained by a learner.EventSetCache, whose Advance
+//     delta (expired / boundary-changed / new sets) drives the count
+//     updates.
+//   - Statistical failure-run counters: per fatal event its run length
+//     and followed flag, folded into occurrence/success arrays — served
+//     through learner.FailureRunCounts.
+//   - Fatal inter-arrival gaps (the MLE fit's sufficient statistic) —
+//     served through Prepared.GapsFor.
+//   - Naive-Bayes class tallies (optional, TrackBayes): per non-fatal
+//     class the followed/not-followed occurrence split and target
+//     attribution — served through learner.ClassTallies.
+//
+// Every statistic is a sum of bounded-lookback per-event contributions,
+// so Advance touches only the window boundaries and the appended tail:
+// expired contributions are subtracted exactly as stored, start-boundary
+// contributions (anchor within W_P of the new start) are recomputed, and
+// end-provisional flags (a fatal's "followed", a class occurrence's
+// resolution) flip as successors arrive. The result is byte-equivalent to
+// a batch rebuild over the same window — identical integer counts divide
+// into identical float64 statistics — pinned by the equivalence tests in
+// this package.
+//
+// Concurrency: Advance, Export and Restore serialize on an internal
+// mutex. The serving interfaces are read-only and safe for the
+// concurrent learner ensemble, provided no Advance runs during a
+// training pass — the retrain flows in internal/engine and
+// internal/stream sequence Advance strictly before TrainPrepared.
+package incr
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/learner"
+)
+
+// maxClassBits mirrors the assoc packing: itemsets of up to four classes
+// pack collision-free into a uint64 key.
+const maxClassBits = 16
+
+// DefaultVerifyEvery is the stat-drift audit cadence when Config leaves
+// VerifyEvery zero: every Nth Advance cross-checks cheap invariants
+// (event/fatal counts, fatal-time checksum) against the input slice and
+// falls back to a full rebuild on mismatch.
+const DefaultVerifyEvery = 64
+
+// Config pins the learner shape one State serves. The values must match
+// the ensemble's miners exactly (see meta.IncrConfig, which derives them
+// from a MetaLearner); a learner asking for anything else is refused by
+// the CanServe guards and falls back to its batch pass.
+type Config struct {
+	// WindowMs is the rule-generation window W_P in milliseconds.
+	WindowMs int64
+	// MaxItems is the assoc per-transaction item cap.
+	MaxItems int
+	// MaxBody is the assoc effective antecedent cap (≤ 4; subsets up to
+	// this size are counted).
+	MaxBody int
+	// MaxK is the statistical learner's run-length cap.
+	MaxK int
+	// TrackBayes maintains the naive-Bayes class tallies, which requires
+	// keeping a per-event record for the whole window. Leave false when
+	// the ensemble has no bayes learner.
+	TrackBayes bool
+	// VerifyEvery is the drift-audit cadence in Advances (0 = the
+	// package default, negative = never).
+	VerifyEvery int
+}
+
+// fatalRec is one in-window fatal's stored contribution to the
+// statistical counters: its (capped) run length and whether another
+// fatal followed within the window. Subtracting exactly these values on
+// expiry reverses the contribution bit-for-bit.
+type fatalRec struct {
+	T        int64 `json:"t"`
+	Run      int   `json:"r"`
+	Followed bool  `json:"f,omitempty"`
+}
+
+// gapRec is one fatal inter-arrival gap; T1 is the earlier fatal's
+// timestamp (the gap expires with it).
+type gapRec struct {
+	T1  int64   `json:"t"`
+	Gap float64 `json:"g"`
+}
+
+// bayesRec is one in-window event's naive-Bayes bookkeeping. A non-fatal
+// occurrence is tallied not-followed on arrival and re-tallied when the
+// first later fatal resolves it; Resolved marks the flag final.
+type bayesRec struct {
+	T        int64 `json:"t"`
+	Class    int32 `json:"c"`
+	Fatal    bool  `json:"x,omitempty"`
+	Followed bool  `json:"f,omitempty"`
+	Resolved bool  `json:"d,omitempty"`
+	Target   int32 `json:"g,omitempty"` // fatal class attributed when Followed
+}
+
+// itemsetEntry is one itemset's window count, split by target class.
+type itemsetEntry struct {
+	global   int
+	byTarget []learner.TargetCount
+}
+
+// classTally is one non-fatal class's mutable naive-Bayes tally.
+type classTally struct {
+	followed    int
+	notFollowed int
+	targets     map[int]int
+}
+
+// State is the incremental sufficient-statistics maintainer. Zero value
+// is not usable; construct with New.
+type State struct {
+	mu  sync.Mutex
+	cfg Config
+
+	valid    bool
+	from, to int64
+	count    int // events in window
+	advances int
+
+	// Association: window transactions plus all-subset counts.
+	cache      *learner.EventSetCache
+	sets       []learner.EventSet
+	itemsets   map[uint64]*itemsetEntry
+	itemCounts []int32 // dense per-class transaction counts (level 1)
+
+	// Statistical: fatal deque plus folded run counters.
+	fatals []fatalRec
+	occ    []int
+	succ   []int
+
+	// Distribution: gap deque plus its served materialization.
+	gaps    []gapRec
+	gapsOut []float64
+
+	// Bayes (TrackBayes only): per-event records plus class tallies.
+	events    []bayesRec
+	perClass  map[int]*classTally
+	positives int
+	negatives int
+	tallies   []learner.ClassTally // served materialization
+
+	times []int64 // served materialization of the fatal deque
+}
+
+// New returns an empty State for the given configuration. The first
+// Advance performs a full build.
+func New(cfg Config) *State {
+	if cfg.MaxBody > 4 {
+		cfg.MaxBody = 4 // the packed-key limit; assoc clamps identically
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 3
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 8
+	}
+	if cfg.VerifyEvery == 0 {
+		cfg.VerifyEvery = DefaultVerifyEvery
+	}
+	return &State{
+		cfg:      cfg,
+		cache:    learner.NewEventSetCache(),
+		itemsets: make(map[uint64]*itemsetEntry),
+		occ:      make([]int, cfg.MaxK+1),
+		succ:     make([]int, cfg.MaxK+1),
+		perClass: make(map[int]*classTally),
+	}
+}
+
+// Window returns the maintained window bounds [from, to) and whether the
+// state currently holds a valid window.
+func (s *State) Window() (from, to int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.from, s.to, s.valid
+}
+
+// Install wires the state's serving hooks into a prepared training view.
+// The view's Events must be exactly the window slice the last Advance
+// maintained; learners whose configuration the state cannot serve fall
+// back to batch passes over those events.
+func (s *State) Install(pre *learner.Prepared) {
+	pre.Itemsets = s
+	pre.FailureRuns = s
+	pre.Tallies = s
+	pre.GapsFor = s.Gaps
+	pre.TimesFor = s.FatalTimes
+	events := pre.Events
+	pre.SetsFor = func(windowMs int64, maxItems int) []learner.EventSet {
+		s.mu.Lock()
+		if s.valid && windowMs == s.cfg.WindowMs && maxItems == s.cfg.MaxItems {
+			sets := s.sets
+			s.mu.Unlock()
+			return sets
+		}
+		s.mu.Unlock()
+		// A differently-configured miner (ablation runs): serve it the
+		// batch way rather than refusing.
+		return learner.BuildEventSets(events, learner.Params{WindowSec: windowMs / 1000}, maxItems)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// learner.ItemsetCounts
+// ---------------------------------------------------------------------------
+
+// CanServeItemsets implements learner.ItemsetCounts.
+func (s *State) CanServeItemsets(windowMs int64, maxItems, maxBody int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.valid && windowMs == s.cfg.WindowMs &&
+		maxItems == s.cfg.MaxItems && maxBody <= s.cfg.MaxBody
+}
+
+// NumSets implements learner.ItemsetCounts.
+func (s *State) NumSets() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sets)
+}
+
+// FrequentItems implements learner.ItemsetCounts.
+func (s *State) FrequentItems(minCount int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int
+	for it, c := range s.itemCounts {
+		if int(c) >= minCount {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// ItemsetCount implements learner.ItemsetCounts. Lock-free: the counts
+// are immutable between Advances, and mining passes are sequenced after
+// the Advance that produced them.
+func (s *State) ItemsetCount(items []int) (int, []learner.TargetCount) {
+	e := s.itemsets[packItems(items)]
+	if e == nil {
+		return 0, nil
+	}
+	return e.global, e.byTarget
+}
+
+// packItems mirrors assoc's packing of a sorted itemset into a uint64.
+func packItems(items []int) uint64 {
+	var key uint64
+	for _, it := range items {
+		key = key<<maxClassBits | uint64(it+1)
+	}
+	return key
+}
+
+// ---------------------------------------------------------------------------
+// learner.FailureRunCounts
+// ---------------------------------------------------------------------------
+
+// CanServeRuns implements learner.FailureRunCounts.
+func (s *State) CanServeRuns(windowMs int64, maxK int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.valid && windowMs == s.cfg.WindowMs && maxK <= s.cfg.MaxK
+}
+
+// RunCounts implements learner.FailureRunCounts.
+func (s *State) RunCounts() (occurrences, successes []int, total int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.occ, s.succ, len(s.fatals)
+}
+
+// ---------------------------------------------------------------------------
+// learner.ClassTallies
+// ---------------------------------------------------------------------------
+
+// CanServeTallies implements learner.ClassTallies.
+func (s *State) CanServeTallies(windowMs int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.valid && s.cfg.TrackBayes && windowMs == s.cfg.WindowMs
+}
+
+// Tallies implements learner.ClassTallies: the canonical sorted
+// projection of the per-class counters, materialized once per window.
+func (s *State) Tallies() ([]learner.ClassTally, int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tallies == nil {
+		s.tallies = make([]learner.ClassTally, 0, len(s.perClass))
+		for class, c := range s.perClass {
+			t := learner.ClassTally{Class: class, Followed: c.followed, NotFollowed: c.notFollowed}
+			for f, n := range c.targets {
+				t.Targets = append(t.Targets, learner.TargetCount{Target: f, Count: n})
+			}
+			sort.Slice(t.Targets, func(i, j int) bool { return t.Targets[i].Target < t.Targets[j].Target })
+			s.tallies = append(s.tallies, t)
+		}
+		sort.Slice(s.tallies, func(i, j int) bool { return s.tallies[i].Class < s.tallies[j].Class })
+	}
+	return s.tallies, s.positives, s.negatives
+}
+
+// ---------------------------------------------------------------------------
+// Prepared.GapsFor / Prepared.TimesFor
+// ---------------------------------------------------------------------------
+
+// Gaps serves the window's fatal inter-arrival gaps (seconds), exactly
+// learner.FatalGaps over the window slice.
+func (s *State) Gaps() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gapsOut == nil {
+		s.gapsOut = make([]float64, len(s.gaps))
+		for i := range s.gaps {
+			s.gapsOut[i] = s.gaps[i].Gap
+		}
+	}
+	return s.gapsOut
+}
+
+// FatalTimes serves the window's fatal timestamps, exactly
+// learner.FatalTimes over the window slice.
+func (s *State) FatalTimes() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.times == nil {
+		s.times = make([]int64, len(s.fatals))
+		for i := range s.fatals {
+			s.times[i] = s.fatals[i].T
+		}
+	}
+	return s.times
+}

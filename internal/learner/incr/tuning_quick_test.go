@@ -1,0 +1,12 @@
+//go:build !slow
+
+package incr_test
+
+// Quick-mode sizes for the equivalence property test: enough random
+// streams and slides to catch boundary regressions in tier-1 without
+// dominating it. Build with -tags slow for the long campaign.
+const (
+	eqSeeds  = 4
+	eqSteps  = 25
+	eqEvents = 2000
+)

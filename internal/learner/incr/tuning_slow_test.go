@@ -1,0 +1,11 @@
+//go:build slow
+
+package incr_test
+
+// Slow-mode sizes: the long equivalence campaign (scripts/verify.sh runs
+// it with -race).
+const (
+	eqSeeds  = 24
+	eqSteps  = 120
+	eqEvents = 8000
+)

@@ -37,6 +37,21 @@ type Prepared struct {
 	// engine installs an incremental cross-retraining cache here. It must
 	// return exactly what BuildEventSets(Events, p, maxItems) would.
 	SetsFor func(windowMs int64, maxItems int) []EventSet
+	// GapsFor and TimesFor, when non-nil, override the batch fatal-gap /
+	// fatal-time extraction the same way: an incremental maintainer
+	// (internal/learner/incr) serves its window deques here. They must
+	// return exactly what FatalGaps(Events) / FatalTimes(Events) would.
+	GapsFor  func() []float64
+	TimesFor func() []int64
+
+	// Itemsets, FailureRuns and Tallies, when non-nil, offer maintained
+	// sufficient statistics to the learners that can mine from counts
+	// instead of rescanning the stream. Each learner checks the CanServe
+	// guard and falls back to its batch pass on a mismatch, so installing
+	// these is always safe.
+	Itemsets    ItemsetCounts
+	FailureRuns FailureRunCounts
+	Tallies     ClassTallies
 
 	mu      sync.Mutex
 	sets    map[setsKey][]EventSet
@@ -85,7 +100,11 @@ func (tr *Prepared) FatalTimes() []int64 {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	if !tr.timesOK {
-		tr.times = FatalTimes(tr.Events)
+		if tr.TimesFor != nil {
+			tr.times = tr.TimesFor()
+		} else {
+			tr.times = FatalTimes(tr.Events)
+		}
 		tr.timesOK = true
 	}
 	return tr.times
@@ -97,7 +116,11 @@ func (tr *Prepared) FatalGaps() []float64 {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	if !tr.gapsOK {
-		tr.gaps = FatalGaps(tr.Events)
+		if tr.GapsFor != nil {
+			tr.gaps = tr.GapsFor()
+		} else {
+			tr.gaps = FatalGaps(tr.Events)
+		}
 		tr.gapsOK = true
 	}
 	return tr.gaps
@@ -129,12 +152,38 @@ func NewEventSetCache() *EventSetCache {
 	return &EventSetCache{entries: make(map[setsKey]cacheEntry, 2)}
 }
 
+// SetsDelta describes how one window advance changed the cached event
+// sets: Removed left the window (expired, or a boundary set whose
+// truncated lookback changed its items), Added entered it. Applying the
+// delta to the previous window's multiset yields the new one exactly —
+// this is what keeps incremental Apriori counts in sync. Rebuild marks a
+// from-scratch build (no usable overlap); Removed is then empty and Added
+// holds the full window.
+type SetsDelta struct {
+	Removed []EventSet
+	Added   []EventSet
+	Rebuild bool
+}
+
 // Sets returns the event sets of the stream slice covering [from, to) —
 // equal to BuildEventSets over that slice — reusing the previous call's
 // sets where the window overlap allows. events must be the same
 // time-sorted stream across calls, and from must not move backwards
-// between calls (a full rebuild happens otherwise).
+// between calls (a full rebuild happens otherwise). The returned slice
+// is reused in place by the next call: it is valid until then only.
 func (c *EventSetCache) Sets(events []preprocess.TaggedEvent, from, to, windowMs int64, maxItems int) []EventSet {
+	sets, _ := c.Advance(events, from, to, windowMs, maxItems)
+	return sets
+}
+
+// Advance is Sets plus the exact delta against the previous window. A
+// window sliding forward evicts only the expired prefix and rebuilds only
+// the boundary region (fatals within windowMs of the new start, whose
+// lookback truncation may have changed their items) — sets in the
+// untouched middle are reused verbatim and never appear in the delta, so
+// a slide-by-one advance reports a delta of a handful of sets, not a
+// whole-window invalidation.
+func (c *EventSetCache) Advance(events []preprocess.TaggedEvent, from, to, windowMs int64, maxItems int) ([]EventSet, SetsDelta) {
 	idx := func(t int64) int {
 		return sort.Search(len(events), func(i int) bool { return events[i].Time >= t })
 	}
@@ -144,31 +193,106 @@ func (c *EventSetCache) Sets(events []preprocess.TaggedEvent, from, to, windowMs
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ent, ok := c.entries[key]
-	if !ok || from < ent.from {
+	if !ok || from < ent.from || to < ent.to {
 		sets := buildEventSetsRange(events, lo, lo, hi, windowMs, maxItems)
 		c.entries[key] = cacheEntry{from: from, to: to, sets: sets}
-		return sets
+		return sets, SetsDelta{Added: sets, Rebuild: true}
 	}
 
-	// headEnd is the first timestamp whose lookback cannot cross the new
-	// window start: sets at or after it are start-independent.
-	headEnd := from + windowMs
-	if headEnd > to {
-		headEnd = to
-	}
-	out := buildEventSetsRange(events, lo, lo, idx(headEnd), windowMs, maxItems)
-	for _, s := range ent.sets {
-		if s.Time >= headEnd && s.Time < to {
-			out = append(out, s)
+	// The slide path works in place on the cached slice, so an advance
+	// costs O(expired + boundary + appended), never O(window): the
+	// expired prefix is cut off (the sets are time-ordered), the boundary
+	// region is patched where it sits, and the tail is appended. The
+	// returned slice is therefore only valid until the next Advance —
+	// callers needing the previous window across calls must copy it.
+	var delta SetsDelta
+	live := ent.sets
+	if from != ent.from {
+		// Expired prefix: eviction is a binary search and a slice cut.
+		cut := sort.Search(len(live), func(i int) bool { return live[i].Time >= from })
+		delta.Removed = append(delta.Removed, live[:cut]...)
+		live = live[cut:]
+		// headEnd is the first timestamp whose lookback cannot cross the
+		// new window start: sets at or after it are start-independent.
+		headEnd := from + windowMs
+		if headEnd > to {
+			headEnd = to
+		}
+		h := sort.Search(len(live), func(i int) bool { return live[i].Time >= headEnd })
+		newHead := buildEventSetsRange(events, lo, lo, idx(headEnd), windowMs, maxItems)
+		diffSets(live[:h], newHead, &delta)
+		if len(newHead) == h {
+			// Same fatal count at the boundary (the usual case: lookback
+			// truncation changes items, not which sets exist): overwrite.
+			copy(live, newHead)
+		} else {
+			// Set count changed at the boundary: splice into a fresh
+			// slice. Rare, so the O(window) copy does not matter.
+			merged := make([]EventSet, 0, len(newHead)+len(live)-h)
+			merged = append(merged, newHead...)
+			live = append(merged, live[h:]...)
 		}
 	}
 	tailStart := ent.to
-	if tailStart < headEnd {
-		tailStart = headEnd
+	if ts := from + windowMs; tailStart < ts && from != ent.from {
+		// The head rebuild above already covered [from, from+windowMs).
+		tailStart = ts
+	}
+	if tailStart > to {
+		tailStart = to
 	}
 	if tailStart < to {
-		out = append(out, buildEventSetsRange(events, lo, idx(tailStart), hi, windowMs, maxItems)...)
+		tail := buildEventSetsRange(events, lo, idx(tailStart), hi, windowMs, maxItems)
+		live = append(live, tail...)
+		delta.Added = append(delta.Added, tail...)
 	}
-	c.entries[key] = cacheEntry{from: from, to: to, sets: out}
-	return out
+	c.entries[key] = cacheEntry{from: from, to: to, sets: live}
+	return live, delta
+}
+
+// diffSets computes the multiset delta between the old and the rebuilt
+// boundary region. Both slices are time-ordered projections of the same
+// fatal sequence, so a two-pointer walk pairs unchanged sets; anything
+// unpaired is removed/added.
+func diffSets(old, new []EventSet, delta *SetsDelta) {
+	i, j := 0, 0
+	for i < len(old) && j < len(new) {
+		o, n := &old[i], &new[j]
+		if o.Time == n.Time && o.Target == n.Target && equalItems(o.Items, n.Items) {
+			i, j = i+1, j+1
+			continue
+		}
+		if o.Time <= n.Time {
+			delta.Removed = append(delta.Removed, *o)
+			i++
+		} else {
+			delta.Added = append(delta.Added, *n)
+			j++
+		}
+	}
+	delta.Removed = append(delta.Removed, old[i:]...)
+	delta.Added = append(delta.Added, new[j:]...)
+}
+
+func equalItems(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Seed installs a known-good window into the cache — snapshot restore
+// hands back the sets it persisted so the first post-recovery Advance is
+// a delta, not a rebuild. The sets must be exactly BuildEventSets output
+// for [from, to) under (windowMs, maxItems).
+func (c *EventSetCache) Seed(windowMs int64, maxItems int, from, to int64, sets []EventSet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[setsKey{windowMs: windowMs, maxItems: maxItems}] =
+		cacheEntry{from: from, to: to, sets: sets}
 }

@@ -38,17 +38,29 @@ func (l *Learner) Name() string { return "statistical" }
 // is both well-supported and above Threshold. The fatal timestamps come
 // from the shared prepared view (extracted once per training pass).
 func (l *Learner) Learn(tr *learner.Prepared, p learner.Params) ([]learner.Rule, error) {
+	if src := tr.FailureRuns; src != nil && src.CanServeRuns(p.Window(), l.EffectiveMaxK()) {
+		occ, succ, total := src.RunCounts()
+		return l.rulesFromCounts(occ, succ, total), nil
+	}
 	return l.MineTimes(tr.FatalTimes(), p)
+}
+
+// EffectiveMaxK resolves the run-length cap (the MaxK knob defaulted).
+// The incremental maintainer sizes its counters from this: maintained
+// counts for k ≤ cap are cap-independent, so any maintainer with an equal
+// or larger cap serves this learner exactly.
+func (l *Learner) EffectiveMaxK() int {
+	if l.MaxK <= 0 {
+		return 8
+	}
+	return l.MaxK
 }
 
 // MineTimes mines directly from fatal timestamps (ms); exposed for tests
 // and tools that already extracted the failure record.
 func (l *Learner) MineTimes(times []int64, p learner.Params) ([]learner.Rule, error) {
 	window := p.Window()
-	maxK := l.MaxK
-	if maxK <= 0 {
-		maxK = 8
-	}
+	maxK := l.EffectiveMaxK()
 	// runLen[i]: how many fatals (including i) fall within the window
 	// ending at times[i].
 	occurrences := make([]int, maxK+1)
@@ -71,6 +83,19 @@ func (l *Learner) MineTimes(times []int64, p learner.Params) ([]learner.Rule, er
 			}
 		}
 	}
+	return l.rulesFromCounts(occurrences, successes, len(times)), nil
+}
+
+// rulesFromCounts emits the rules a pair of occurrence/success counters
+// supports — shared by the batch scan above and the incremental
+// sufficient-statistics path, which maintains the same counters across
+// window slides. The slices may extend past this learner's cap (a
+// maintainer configured for a larger k serves a smaller one unchanged).
+func (l *Learner) rulesFromCounts(occurrences, successes []int, total int) []learner.Rule {
+	maxK := l.EffectiveMaxK()
+	if m := len(occurrences) - 1; maxK > m {
+		maxK = m
+	}
 	var rules []learner.Rule
 	for k := 1; k <= maxK; k++ {
 		if occurrences[k] < l.MinOccurrences {
@@ -85,8 +110,8 @@ func (l *Learner) MineTimes(times []int64, p learner.Params) ([]learner.Rule, er
 			Count:      k,
 			Target:     learner.AnyFatal,
 			Confidence: prob,
-			Support:    float64(occurrences[k]) / float64(len(times)),
+			Support:    float64(occurrences[k]) / float64(total),
 		})
 	}
-	return rules, nil
+	return rules
 }

@@ -43,6 +43,12 @@ type Snapshot struct {
 	// Retrains carries the service's retrain records opaquely (their type
 	// is private to the stream package).
 	Retrains json.RawMessage `json:"retrains,omitempty"`
+	// Incr carries the incremental sufficient-statistics state
+	// (learner/incr wire form, versioned separately) so a recovered
+	// service's first retrain is a delta-apply instead of a cold rebuild.
+	// Optional: a snapshot without it — or with an incompatible version —
+	// recovers fine, at the cost of one full rebuild.
+	Incr json.RawMessage `json:"incr,omitempty"`
 }
 
 // Counters are the pipeline counters consistent with the cut, so a

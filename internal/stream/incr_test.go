@@ -1,0 +1,201 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/raslog"
+)
+
+// incrEquivConfig is a deterministic multi-retrain configuration: sync
+// retraining pins the predictor swap positions, so the incremental and
+// batch services must agree warning for warning.
+func incrEquivConfig() Config {
+	cfg := Defaults()
+	cfg.InitialTrain = 3 * week
+	cfg.RetrainEvery = 2 * week
+	cfg.TrainWindow = 5 * week
+	cfg.SyncRetrain = true
+	cfg.WarningsKeep = 1 << 20
+	return cfg
+}
+
+// retrainRecords asserts every completed retrain succeeded and returns
+// the records.
+func retrainRecords(t *testing.T, s *Service) []RetrainRecord {
+	t.Helper()
+	recs := s.Stats().Retrains
+	for _, r := range recs {
+		if r.Err != "" {
+			t.Fatalf("retrain at %d failed: %s", r.At, r.Err)
+		}
+	}
+	return recs
+}
+
+// TestStreamIncrementalEquivalence pins the service-level contract: the
+// default (incremental) service and a NoIncremental one fed the same
+// stream end with identical rules, warnings, and retrain outcomes — and
+// only the incremental one reports delta-applies after its first pass.
+func TestStreamIncrementalEquivalence(t *testing.T) {
+	l := genLog(t, 17, 10)
+	run := func(noIncr bool) *Service {
+		t.Helper()
+		cfg := incrEquivConfig()
+		cfg.NoIncremental = noIncr
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingestAll(t, s, l)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	inc, batch := run(false), run(true)
+
+	if !reflect.DeepEqual(inc.Rules(), batch.Rules()) {
+		t.Errorf("rule sets diverge: %d incremental vs %d batch",
+			len(inc.Rules()), len(batch.Rules()))
+	}
+	iw, bw := inc.Warnings(0), batch.Warnings(0)
+	if len(iw) != len(bw) {
+		t.Fatalf("warning counts diverge: %d incremental vs %d batch", len(iw), len(bw))
+	}
+	for i := range iw {
+		if iw[i] != bw[i] {
+			t.Fatalf("warning %d diverges: %+v vs %+v", i, iw[i], bw[i])
+		}
+	}
+
+	ir, br := retrainRecords(t, inc), retrainRecords(t, batch)
+	if len(ir) != len(br) || len(ir) < 3 {
+		t.Fatalf("retrain counts: %d incremental vs %d batch (want equal, >= 3)", len(ir), len(br))
+	}
+	for i := range ir {
+		if ir[i].At != br[i].At || ir[i].TrainEvents != br[i].TrainEvents ||
+			ir[i].Churn != br[i].Churn {
+			t.Errorf("retrain %d diverges: %+v vs %+v", i, ir[i], br[i])
+		}
+		if br[i].Incr != nil {
+			t.Errorf("retrain %d: batch service carries IncrInfo", i)
+		}
+		if ir[i].Incr == nil {
+			t.Fatalf("retrain %d: incremental service missing IncrInfo", i)
+		}
+		if i == 0 && !ir[i].Incr.Rebuild {
+			t.Error("first retrain must be a full rebuild")
+		}
+		if i > 0 && ir[i].Incr.Rebuild {
+			t.Errorf("retrain %d fell back to a rebuild: %s", i, ir[i].Incr.Reason)
+		}
+	}
+}
+
+// TestRecoveryRestoresIncrementalState kills a service after its first
+// retrain (and the snapshot that follows it) and restarts over the same
+// state directory: the incremental sufficient statistics must come back
+// from the snapshot, and the first retrain of the recovered run must be
+// a delta-apply, never a cold rebuild.
+func TestRecoveryRestoresIncrementalState(t *testing.T) {
+	l := genLog(t, 13, 8)
+	cfg := durableConfig(t.TempDir())
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed past the first retrain (InitialTrain = 3w) with enough tail
+	// that the collector reaches the post-retrain snapshot point.
+	split := l.Start() + 4*week.Milliseconds()
+	ingestAll(t, s1, &raslog.Log{Name: l.Name, Events: l.Window(l.Start(), split)})
+	// The kill must land after the first retrain AND the snapshot the
+	// collector writes at its next release point — crash() abandons the
+	// store, so anything still pending is lost (that's the point).
+	waitFor(t, 30*time.Second, func() bool {
+		return len(s1.Stats().Retrains) >= 1 && s1.m.snapshots.Value() >= 1
+	})
+	s1.crash()
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Recovery().IncrRestored {
+		t.Fatal("snapshot recovery did not restore incremental state")
+	}
+	ingestAll(t, s2, &raslog.Log{Name: l.Name, Events: l.Window(split, l.End()+1)})
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := retrainRecords(t, s2)
+	if len(recs) < 2 {
+		t.Fatalf("recovered run completed %d retrains; want >= 2", len(recs))
+	}
+	// Record 0 predates the kill (restored with the snapshot): it was the
+	// cold build. Every retrain the recovered process itself ran must be
+	// a delta-apply on the restored statistics.
+	if !recs[0].Incr.Rebuild {
+		t.Error("pre-kill first retrain should have been the cold rebuild")
+	}
+	for _, r := range recs[1:] {
+		if r.Incr == nil {
+			t.Fatalf("retrain at %d missing IncrInfo", r.At)
+		}
+		if r.Incr.Rebuild {
+			t.Errorf("retrain at %d after recovery cold-rebuilt: %s", r.At, r.Incr.Reason)
+		}
+	}
+}
+
+// TestRecoveryWithoutIncrState pins the fallback: a NoIncremental writer
+// leaves no incremental state in its snapshots, and a default (incremental)
+// reader recovering from them simply cold-rebuilds on its next retrain —
+// recovery never depends on the field being present.
+func TestRecoveryWithoutIncrState(t *testing.T) {
+	l := genLog(t, 13, 8)
+	cfg := durableConfig(t.TempDir())
+	cfg.NoIncremental = true
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := l.Start() + 4*week.Milliseconds()
+	ingestAll(t, s1, &raslog.Log{Name: l.Name, Events: l.Window(l.Start(), split)})
+	s1.crash()
+
+	cfg.NoIncremental = false
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Recovery().IncrRestored {
+		t.Error("restored incremental state from a batch-only snapshot")
+	}
+	ingestAll(t, s2, &raslog.Log{Name: l.Name, Events: l.Window(split, l.End()+1)})
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := retrainRecords(t, s2)
+	var own []RetrainRecord
+	for _, r := range recs {
+		if r.Incr != nil {
+			own = append(own, r)
+		}
+	}
+	if len(own) == 0 {
+		t.Fatal("recovered service never retrained incrementally")
+	}
+	if !own[0].Incr.Rebuild {
+		t.Error("first incremental retrain without restored state must cold-rebuild")
+	}
+	for _, r := range own[1:] {
+		if r.Incr.Rebuild {
+			t.Errorf("retrain at %d cold-rebuilt: %s", r.At, r.Incr.Reason)
+		}
+	}
+}

@@ -198,6 +198,12 @@ func TestMetricsEndpointCoverage(t *testing.T) {
 		"train_events",
 		"train_repo_rules",
 		"stream_rules",
+		// The on-demand retrain above was the first pass: a full rebuild
+		// of the incremental sufficient statistics, counted as such.
+		"train_incr_applied_events_total",
+		"train_incr_rebuilds_total",
+		"train_incr_advance_duration_seconds_count",
+		`train_pass_duration_seconds_count{mode="full"}`,
 	}
 	for _, name := range positive {
 		if v, ok := samples[name]; !ok {
@@ -212,6 +218,7 @@ func TestMetricsEndpointCoverage(t *testing.T) {
 		"stream_reorder_depth",
 		"stream_warnings_total",
 		"train_errors_total",
+		"train_incr_expired_events_total",
 		"train_rules_unchanged_total",
 		"train_rules_removed_total",
 		`stream_queue_depth{queue="sequencer"}`,

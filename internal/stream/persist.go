@@ -29,6 +29,10 @@ type RecoveryInfo struct {
 	// the next ingested event will receive.
 	ResumeSeq  uint64 `json:"resume_seq"`
 	DurationMs int64  `json:"duration_ms"`
+	// IncrRestored reports that incremental sufficient-statistics state
+	// was recovered from the snapshot, so the next retrain delta-applies
+	// instead of cold-rebuilding.
+	IncrRestored bool `json:"incr_restored,omitempty"`
 }
 
 // Recovery returns the startup recovery summary (zero without a StateDir).
@@ -156,6 +160,15 @@ func (s *Service) restoreSnapshot(snap *persist.Snapshot) error {
 		}
 	}
 
+	if s.incrState != nil && len(snap.Incr) > 0 {
+		// Best effort: a version or configuration mismatch just means the
+		// next retrain falls back to a full rebuild (the same thing a
+		// snapshot without incremental state means).
+		if err := s.incrState.Restore(snap.Incr); err == nil {
+			s.recovery.IncrRestored = true
+		}
+	}
+
 	s.m.streamStart.Set(float64(snap.StreamStartMs))
 	s.m.watermark.Set(float64(snap.WatermarkMs))
 	s.m.nextRetrain.Set(float64(snap.NextRetrainMs))
@@ -238,6 +251,17 @@ func (s *Service) buildSnapshot() (*persist.Snapshot, error) {
 			return nil, err
 		}
 		snap.Retrains = raw
+	}
+	if s.incrState != nil {
+		// Export is safe against an in-flight background retrain (the
+		// state locks itself); whichever side of the Advance it captures
+		// is consistent with some retrain boundary, and the next Advance
+		// continues from there.
+		raw, err := s.incrState.Export()
+		if err != nil {
+			return nil, err
+		}
+		snap.Incr = raw
 	}
 	return snap, nil
 }

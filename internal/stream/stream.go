@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/learner"
+	"repro/internal/learner/incr"
 	"repro/internal/meta"
 	"repro/internal/persist"
 	"repro/internal/predictor"
@@ -122,6 +123,15 @@ type Config struct {
 	// reproduced exactly; an async service recovers to an equivalent
 	// state whose swap points may differ by a few events).
 	SyncRetrain bool
+	// NoIncremental disables incremental sufficient-statistics maintenance
+	// across retrains (internal/learner/incr) and restores the batch-only
+	// training path. Incremental maintenance is on by default: each retrain
+	// delta-applies the events that entered/expired from the training
+	// window and falls back to a full rebuild on parameter changes,
+	// backwards window moves, or a drift-audit mismatch, so the learned
+	// rules are identical either way. The switch exists for measurement
+	// and equivalence testing.
+	NoIncremental bool
 }
 
 // Defaults returns the paper's parameters: 300 s filter threshold,
@@ -211,6 +221,11 @@ type Service struct {
 	// setCache carries Apriori event sets across the overlapping training
 	// snapshots of successive retrainings (see learner.EventSetCache).
 	setCache *learner.EventSetCache
+	// incrState maintains the windowed sufficient statistics that turn a
+	// retrain into a delta-apply (nil when Config.NoIncremental). Retrains
+	// are serialized by the retraining flag, so Advance/Install never race;
+	// snapshot Export runs under the state's own lock.
+	incrState *incr.State
 
 	pr        atomic.Pointer[predictor.Predictor]
 	lastFatal atomic.Int64
@@ -292,6 +307,12 @@ func New(cfg Config) (*Service, error) {
 		s.shardChs[i] = make(chan seqEvent, full.QueueLen)
 	}
 	s.m = newMetrics(s) // after the channels: queue gauges read them
+	if !full.NoIncremental {
+		// Before recover(): a persisted snapshot may carry incremental
+		// state to restore, sparing the first post-recovery retrain a
+		// cold rebuild.
+		s.incrState = incr.New(meta.IncrConfig(full.Meta, full.Params))
+	}
 
 	if full.StateDir != "" {
 		// Recovery runs before any pipeline goroutine exists: the snapshot
@@ -837,17 +858,31 @@ func (s *Service) snapshotTrainingSet(at int64) ([]preprocess.TaggedEvent, int64
 
 // retrain runs one training pass off the hot path and atomically swaps
 // the refreshed predictor in. On error the previous rule set stays live.
-// Event sets are reused across retrainings via setCache: the snapshot
-// slices differ call to call, but the stream content over any shared
-// [time) range is identical, which is all the cache depends on.
+// With incremental maintenance on (the default), the pass first advances
+// the sufficient-statistics window by the events that entered/expired
+// since the last retrain and the learners then read the maintained
+// counters instead of re-mining the snapshot; otherwise event sets are
+// reused across retrainings via setCache. Either way the snapshot slices
+// differ call to call, but the stream content over any shared [time)
+// range is identical, which is all the maintained state depends on.
 func (s *Service) retrain(at, from int64, snapshot []preprocess.TaggedEvent) RetrainRecord {
 	defer s.retrainWG.Done()
 	rec := RetrainRecord{At: at}
 	pre := learner.Prepare(snapshot)
-	pre.SetsFor = func(windowMs int64, maxItems int) []learner.EventSet {
-		return s.setCache.Sets(snapshot, from, at, windowMs, maxItems)
+	var incrInfo *engine.IncrInfo
+	if s.incrState != nil {
+		ta := time.Now()
+		d := s.incrState.Advance(snapshot, from, at, s.cfg.Params)
+		s.incrState.Install(pre)
+		incrInfo = &engine.IncrInfo{Applied: d.Applied, Expired: d.Expired,
+			Rebuild: d.Rebuild, Reason: d.Reason, AdvanceDuration: time.Since(ta)}
+	} else {
+		pre.SetsFor = func(windowMs int64, maxItems int) []learner.EventSet {
+			return s.setCache.Sets(snapshot, from, at, windowMs, maxItems)
+		}
 	}
 	rt, err := engine.TrainStepPrepared(s.cfg.Meta, s.repo, pre, s.cfg.Params)
+	rt.Incr = incrInfo
 	if err != nil {
 		rec.Err = err.Error()
 		s.m.training.RecordError()

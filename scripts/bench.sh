@@ -3,21 +3,26 @@
 # hot-path benchmarks (BenchmarkMetaTrain serial/parallel,
 # BenchmarkReviseParallel, BenchmarkMine, BenchmarkFilter,
 # BenchmarkStreamObserve, BenchmarkIngestBatch,
-# BenchmarkFleetIngestBatch, BenchmarkParseLine) with
-# -benchmem and writes the parsed numbers to BENCH_6.json, so
-# performance work has a committed before/after record. Wall-clock
-# speedups depend on the machine: the snapshot records GOMAXPROCS
-# alongside every number.
+# BenchmarkFleetIngestBatch, BenchmarkParseLine) and the incremental
+# retraining pair (BenchmarkRetrainFull vs BenchmarkRetrainIncremental —
+# the O(window) rebuild against the sufficient-statistics delta-apply on
+# the same window sequence) with -benchmem, and writes the parsed numbers
+# to BENCH_7.json, so performance work has a committed before/after
+# record. Wall-clock speedups depend on the machine: the snapshot records
+# GOMAXPROCS alongside every number.
 #
 # Usage: sh scripts/bench.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_6.json}"
+OUT="${1:-BENCH_7.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 BENCHTIME="${BENCHTIME:-5x}"
+# The retrain pair amortizes one expensive workload generation across
+# both benchmarks; a few more iterations keep the ratio stable.
+RETRAINTIME="${RETRAINTIME:-10x}"
 # The serving hot path is sub-microsecond per event; give it enough
 # iterations that per-op numbers mean something and the fixed
 # drain-on-close cost is amortized away (the fleet row pays a registry
@@ -34,6 +39,9 @@ go test -run '^$' -bench 'BenchmarkParseLine$' \
     -benchmem -benchtime "$STREAMTIME" ./internal/raslog/ | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkMine$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/learner/assoc/ | tee -a "$TMP"
+echo "== incremental retraining (benchtime $RETRAINTIME)"
+go test -run '^$' -bench 'BenchmarkRetrainFull$|BenchmarkRetrainIncremental$' \
+    -benchmem -benchtime "$RETRAINTIME" . | tee -a "$TMP"
 
 awk -v out="$OUT" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
@@ -48,6 +56,7 @@ awk -v out="$OUT" '
         if ($(i+1) == "allocs/op") allocs = $i
     }
     if (ns == "") next
+    nsOf[name] = ns
     if (n++) printf ",\n" > out
     else {
         printf "{\n  \"benchmarks\": [\n" > out
@@ -75,6 +84,12 @@ END {
     printf "    {\"name\": \"BenchmarkMetaTrain\", \"ns_per_op\": 13887620, \"bytes_per_op\": 3667186, \"allocs_per_op\": 99108},\n" > out
     printf "    {\"name\": \"BenchmarkFilter\", \"ns_per_op\": 2873123}\n" > out
     printf "  ],\n" > out
+    # The headline number of the incremental-retraining work: how many
+    # times faster a sufficient-statistics delta-apply retrain is than
+    # re-mining the same training window from scratch.
+    if (nsOf["BenchmarkRetrainFull"] && nsOf["BenchmarkRetrainIncremental"])
+        printf "  \"retrain_speedup\": %.1f,\n", \
+            nsOf["BenchmarkRetrainFull"] / nsOf["BenchmarkRetrainIncremental"] > out
     printf "  \"goos\": \"%s\",\n", goos > out
     printf "  \"cpu\": \"%s\",\n", cpu > out
     printf "  \"gomaxprocs\": %d,\n", procs > out

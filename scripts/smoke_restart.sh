@@ -7,7 +7,14 @@
 # (internal/stream/recover_test.go); this script proves the real binary,
 # real HTTP, real kill -9 path end to end.
 #
-# A second phase repeats the exercise in fleet mode: two tenants fed
+# A second phase proves incremental-retraining durability: after a kill
+# -9 landing past the first retrain (possibly mid-pass — the second kill
+# fires without waiting for the pipeline to quiesce), the restarted
+# daemon must report incr_restored in its recovery block and every
+# retrain it runs itself must be a sufficient-statistics delta-apply
+# ("Rebuild": false in the retrain records), never a cold rebuild.
+#
+# A third phase repeats the exercise in fleet mode: two tenants fed
 # through one -fleet daemon, killed -9, restarted (both recover from
 # <state>/tenants/<id>/), then shut down gracefully (SIGTERM must close
 # every tenant cleanly and exit 0).
@@ -115,6 +122,82 @@ fi
 curl -fsS "$ADDR/warnings?n=5" > /dev/null
 
 echo "smoke_restart: single-tenant OK (ingested $INGESTED/$TOTAL, processed $PROCESSED)"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+# --- Incremental-retraining phase: kill -9 must not cost a rebuild -------
+
+echo "smoke_restart: incremental phase — sufficient statistics survive kill -9"
+head -n 100 "$TMP/second.log" > "$TMP/nudge.log"
+tail -n +101 "$TMP/second.log" > "$TMP/rest.log"
+start_serve -state-dir "$TMP/incr"
+curl -fsS -X POST --data-binary "@$TMP/first.log" "$ADDR/ingest/batch" > /dev/null
+wait_quiesce
+# The 3-week initial training fires mid-feed but runs in the background;
+# wait until its record shows up.
+i=0
+until curl -fsS "$ADDR/stats" | grep -q '"Rebuild"'; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "smoke_restart: FAIL: no retrain record before the incremental kill" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+# Snapshots are written on the collector at the first release point after
+# a pass — a drained feed leaves the snapshot pending, so nudge a few
+# more events through and wait until it is durable.
+curl -fsS -X POST --data-binary "@$TMP/nudge.log" "$ADDR/ingest/batch" > /dev/null
+i=0
+until SNAPS=$(curl -fsS "$ADDR/metrics" | awk '$1 == "stream_snapshots_total" {print int($2)}') &&
+      [ "${SNAPS:-0}" -ge 1 ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "smoke_restart: FAIL: no durable snapshot after initial training" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+# Post the rest of the feed and kill -9 immediately — no quiesce, so the
+# crash lands with events (and possibly a training pass) in flight.
+curl -fsS -X POST --data-binary "@$TMP/rest.log" "$ADDR/ingest/batch" > /dev/null
+echo "smoke_restart: kill -9 $SERVE_PID (mid-flight)"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+start_serve -state-dir "$TMP/incr"
+# The recovery block must report the incremental state was restored from
+# the snapshot — otherwise the next retrain silently cold-rebuilds.
+curl -fsS "$ADDR/stats" | grep -q '"incr_restored": *true' || {
+    echo "smoke_restart: FAIL: recovery did not restore incremental state" >&2
+    curl -fsS "$ADDR/stats" >&2 || true
+    exit 1
+}
+# Force a training pass on the recovered service. It must be a delta-apply
+# ("Rebuild": false), not a from-scratch re-mine of the window. Retry the
+# POST briefly: WAL replay may still be running its own (also incremental)
+# catch-up passes, and /retrain returns 409 while one is in flight.
+REC=""
+i=0
+until REC=$(curl -fsS -X POST "$ADDR/retrain" 2>/dev/null) && [ -n "$REC" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "smoke_restart: FAIL: POST /retrain never succeeded after restart" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if echo "$REC" | grep -q '"err"'; then
+    echo "smoke_restart: FAIL: post-restart retrain errored: $REC" >&2
+    exit 1
+fi
+echo "$REC" | grep -q '"Rebuild": *false' || {
+    echo "smoke_restart: FAIL: post-restart retrain was a cold rebuild: $REC" >&2
+    exit 1
+}
+echo "smoke_restart: incremental OK (post-restart retrain delta-applied)"
 kill -9 "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""

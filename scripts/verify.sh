@@ -17,6 +17,15 @@ echo "== allocation budgets (-count=1)"
 # fleet-routed path (multi-tenancy must add no per-event cost).
 go test -count=1 -run 'AllocBudget' \
     ./internal/raslog ./internal/preprocess ./internal/predictor ./internal/stream ./internal/fleet
+echo "== incremental-retraining equivalence gate (-race -count=1)"
+# The incremental ≡ batch property re-proven fresh on every run: the
+# sufficient-statistics maintainer (random streams × random slides, the
+# export/restore round trip, fallback and drift-audit paths), the
+# event-set cache delta exactness, and the engine/stream end-to-end
+# equivalence runs — all under the race detector, never from the test
+# cache. Build with -tags slow for the long campaign.
+go test -race -count=1 ./internal/learner ./internal/learner/incr
+go test -race -count=1 -run 'Incremental' ./internal/engine ./internal/stream
 echo "== go test -race -count=1 ./internal/stream ./internal/predictor ./internal/obsv ./internal/persist ./internal/fleet"
 # -count=1 defeats the test cache: the concurrency-critical packages
 # (pipeline, predictor swap, metrics registry, durable state, tenant
