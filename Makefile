@@ -14,8 +14,11 @@ verify:
 	sh scripts/verify.sh
 
 # Component benchmarks of the training pipeline and the serving hot
-# path (single-tenant and fleet-routed), snapshotted to BENCH_6.json
-# (see scripts/bench.sh; BENCHTIME=20x make bench for steadier numbers).
+# path (single-tenant and fleet-routed), snapshotted to BENCH_7.json,
+# then the closed-loop capacity sweep (cmd/loadgen against a live
+# cmd/serve, stepped offered rates plus a 2x overdrive step) snapshotted
+# to BENCH_8.json. See scripts/bench.sh; BENCHTIME=20x / RATES=... /
+# STEP_DURATION=... for steadier numbers.
 bench:
 	sh scripts/bench.sh
 

@@ -1,0 +1,636 @@
+// Command loadgen is the closed-loop load harness for cmd/serve: it
+// measures where the service's capacity actually is, and how it behaves
+// past it (DESIGN.md §13).
+//
+// It generates a bgsim feed once, then replays it against a live daemon
+// at a sweep of offered event rates — each rate is a *time compression*
+// of the feed's natural timeline, so weeks of stream time pass in
+// seconds of wall time and retraining/prediction run on the stream's
+// own clock. Replay is closed-loop: every tenant keeps exactly one
+// batch in flight and the next send waits for the previous response, so
+// offered load beyond capacity surfaces as latency and 429s rather than
+// an unbounded client-side queue. Events are sent in order per tenant
+// and the 429/503 line-resume contract is honored, so the harness can
+// assert the no-drop/no-reorder invariant from the outside: everything
+// it was told was accepted must come out sequenced.
+//
+// Usage:
+//
+//	loadgen [-addr http://localhost:8080] [-tenants 1]
+//	        [-rates 500,1000,2000,4000] [-overdrive] [-step-duration 5s]
+//	        [-batch 256] [-seed 7] [-weeks 4] [-scale 0.05] [-storms]
+//	        [-p99-target 50ms] [-out BENCH_8.json] [-ledger PATH]
+//
+// With -tenants > 1 the feed is replayed concurrently into that many
+// fleet tenants (/t/load-NN/... — the daemon must run -fleet), which
+// exercises per-tenant admission fairness under aggregate load.
+// -storms enables bgsim's log-storm shaping so the feed itself carries
+// burst arrival structure. -overdrive appends a final step at twice the
+// highest configured rate: the step that must produce bounded-latency
+// 429s instead of collapse.
+//
+// Each step records client-side p50/p99 request latency, achieved
+// events/s, 429/503 counts, and server-side deltas (sequenced,
+// late-dropped, reorder-overflow, backpressure seconds, warnings), then
+// waits for the pipeline to drain, measuring drain time and
+// warning-emission lag. The sweep ends with the capacity verdict: the
+// highest achieved rate whose p99 stayed at or under -p99-target,
+// absolute and per core, written to -out as JSON.
+//
+// -ledger PATH additionally maintains a crash-recovery ledger, written
+// atomically after every step: the accepted- and sequenced-event counts
+// the server has acknowledged. scripts/smoke_restart.sh kills the
+// daemon mid-sweep and asserts the recovered state covers the ledger
+// (minus the WAL's bounded buffering slack).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/raslog"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "serve daemon base URL")
+	tenants := flag.Int("tenants", 1, "concurrent tenants (>1 needs a -fleet daemon)")
+	rates := flag.String("rates", "500,1000,2000,4000", "offered-load steps in events/sec, comma-separated")
+	overdrive := flag.Bool("overdrive", false, "append a step at 2x the highest rate")
+	stepDur := flag.Duration("step-duration", 5*time.Second, "send time per step")
+	batch := flag.Int("batch", 256, "events per POST /ingest/batch")
+	seed := flag.Uint64("seed", 7, "feed generator seed")
+	weeks := flag.Int("weeks", 4, "feed length in stream-time weeks")
+	scale := flag.Float64("scale", 0.05, "feed raw duplication scale")
+	storms := flag.Bool("storms", false, "shape the feed with bgsim log storms")
+	p99Target := flag.Duration("p99-target", 50*time.Millisecond, "capacity verdict: highest rate with p99 <= this")
+	out := flag.String("out", "BENCH_8.json", "write the capacity report here")
+	ledger := flag.String("ledger", "", "maintain a crash-recovery ledger at this path")
+	flag.Parse()
+
+	steps, err := parseRates(*rates, *overdrive)
+	if err != nil {
+		log.Fatal("loadgen: ", err)
+	}
+	if err := run(opts{
+		addr: *addr, tenants: *tenants, steps: steps, stepDur: *stepDur,
+		batch: *batch, seed: *seed, weeks: *weeks, scale: *scale,
+		storms: *storms, p99Target: *p99Target, out: *out, ledger: *ledger,
+	}); err != nil {
+		log.Fatal("loadgen: ", err)
+	}
+}
+
+type opts struct {
+	addr      string
+	tenants   int
+	steps     []step
+	stepDur   time.Duration
+	batch     int
+	seed      uint64
+	weeks     int
+	scale     float64
+	storms    bool
+	p99Target time.Duration
+	out       string
+	ledger    string
+}
+
+type step struct {
+	rate      float64
+	overdrive bool
+}
+
+func parseRates(s string, overdrive bool) ([]step, error) {
+	var steps []step
+	max := 0.0
+	for _, f := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad rate %q in -rates", f)
+		}
+		if r > max {
+			max = r
+		}
+		steps = append(steps, step{rate: r})
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("-rates is empty")
+	}
+	if overdrive {
+		steps = append(steps, step{rate: 2 * max, overdrive: true})
+	}
+	return steps, nil
+}
+
+// feed is the pre-generated event sequence every tenant replays. A
+// cursor past the end wraps into the next epoch: the same events with
+// all timestamps shifted by the feed's span, so each tenant's stream
+// time stays strictly monotone across wraps.
+type feed struct {
+	events []raslog.Event
+	spanMs int64 // whole-second multiple > (last - first)
+}
+
+func newFeed(o opts) (*feed, error) {
+	cfg := repro.SDSC(o.seed).Scaled(o.weeks, o.scale)
+	if o.storms {
+		cfg.LogStormsPerWeek = 14
+		cfg.LogStormFactor = 20
+		cfg.LogStormMinutes = 10
+	}
+	l, err := repro.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if l.Len() == 0 {
+		return nil, fmt.Errorf("generated feed is empty")
+	}
+	span := l.Events[l.Len()-1].Time - l.Events[0].Time
+	return &feed{
+		events: l.Events,
+		// Round up to a whole second: the wire codec carries seconds, so a
+		// sub-second offset would let an epoch's first event tie or precede
+		// the previous epoch's last.
+		spanMs: (span/1000 + 1) * 1000,
+	}, nil
+}
+
+// batch encodes n events starting at the given global cursor.
+func (f *feed) batch(cursor int64, n int) []byte {
+	l := raslog.NewLog("load", n)
+	size := int64(len(f.events))
+	for k := int64(0); k < int64(n); k++ {
+		c := cursor + k
+		e := f.events[c%size]
+		e.Time += (c / size) * f.spanMs
+		l.Append(e)
+	}
+	var buf bytes.Buffer
+	if _, err := raslog.WriteLog(&buf, l); err != nil {
+		panic(err) // bytes.Buffer writes cannot fail
+	}
+	return buf.Bytes()
+}
+
+// naturalEPS is the feed's own event rate; offered/natural is the time
+// compression a step runs at.
+func (f *feed) naturalEPS() float64 {
+	return float64(len(f.events)) / (float64(f.spanMs) / 1000)
+}
+
+// Client-side mirrors of the daemon's JSON.
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Line     int    `json:"line"`
+	Error    string `json:"error,omitempty"`
+}
+
+type serverStats struct {
+	Ingested        int64 `json:"ingested"`
+	Sequenced       int64 `json:"sequenced"`
+	LateDropped     int64 `json:"late_dropped"`
+	Rejected        int64 `json:"ingest_rejected"`
+	ReorderOverflow int64 `json:"reorder_overflow"`
+	WarningsTotal   int64 `json:"warnings_total"`
+}
+
+func (a serverStats) sub(b serverStats) serverStats {
+	return serverStats{
+		Ingested:        a.Ingested - b.Ingested,
+		Sequenced:       a.Sequenced - b.Sequenced,
+		LateDropped:     a.LateDropped - b.LateDropped,
+		Rejected:        a.Rejected - b.Rejected,
+		ReorderOverflow: a.ReorderOverflow - b.ReorderOverflow,
+		WarningsTotal:   a.WarningsTotal - b.WarningsTotal,
+	}
+}
+
+type stepResult struct {
+	OfferedEPS      float64 `json:"offered_eps"`
+	TimeCompression float64 `json:"time_compression"`
+	Overdrive       bool    `json:"overdrive,omitempty"`
+	DurationSec     float64 `json:"duration_sec"`
+	Requests        int64   `json:"requests"`
+	AcceptedEvents  int64   `json:"accepted_events"`
+	AchievedEPS     float64 `json:"achieved_eps"`
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	MaxMs           float64 `json:"max_ms"`
+	Rejected429     int64   `json:"rejected_429"`
+	Unavailable503  int64   `json:"unavailable_503"`
+	NetErrors       int64   `json:"net_errors"`
+	Sequenced       int64   `json:"sequenced"`
+	LateDropped     int64   `json:"late_dropped"`
+	ReorderOverflow int64   `json:"reorder_overflow"`
+	BackpressureSec float64 `json:"backpressure_seconds"`
+	Warnings        int64   `json:"warnings"`
+	DrainMs         int64   `json:"drain_ms"`
+	WarningLagMs    int64   `json:"warning_lag_ms"`
+}
+
+type report struct {
+	Target             string       `json:"target"`
+	Tenants            int          `json:"tenants"`
+	FeedSeed           uint64       `json:"feed_seed"`
+	FeedWeeks          int          `json:"feed_weeks"`
+	FeedScale          float64      `json:"feed_scale"`
+	FeedStorms         bool         `json:"feed_storms"`
+	FeedEvents         int          `json:"feed_events"`
+	FeedNaturalEPS     float64      `json:"feed_natural_eps"`
+	BatchSize          int          `json:"batch_size"`
+	Cores              int          `json:"cores"`
+	P99TargetMs        float64      `json:"p99_target_ms"`
+	Steps              []stepResult `json:"steps"`
+	CapacityEPS        float64      `json:"capacity_events_per_sec"`
+	CapacityEPSPerCore float64      `json:"capacity_events_per_sec_per_core"`
+}
+
+// crashLedger is what loadgen knows the server acknowledged, for
+// recovery assertions after a mid-sweep kill. Sequenced counts were
+// read back from a drained pipeline, so all but the WAL's in-memory
+// buffer (bounded by its flush interval) must survive a crash.
+type crashLedger struct {
+	StepsCompleted int   `json:"steps_completed"`
+	Accepted       int64 `json:"accepted"`
+	Sequenced      int64 `json:"sequenced"`
+}
+
+type runner struct {
+	o       opts
+	feed    *feed
+	client  *http.Client
+	cursors []int64 // per-tenant global feed cursor, persists across steps
+	ledger  crashLedger
+}
+
+// tenantURL is the route prefix for tenant i: unprefixed when running
+// single-tenant (works against plain and fleet daemons alike), a fleet
+// /t/load-NN prefix otherwise.
+func (r *runner) tenantURL(i int) string {
+	if r.o.tenants == 1 {
+		return r.o.addr
+	}
+	return fmt.Sprintf("%s/t/load-%02d", r.o.addr, i)
+}
+
+func run(o opts) error {
+	if o.tenants < 1 {
+		return fmt.Errorf("-tenants must be >= 1")
+	}
+	if _, err := http.Get(o.addr + "/healthz"); err != nil {
+		return fmt.Errorf("daemon not reachable (start ./cmd/serve first): %w", err)
+	}
+	f, err := newFeed(o)
+	if err != nil {
+		return err
+	}
+	r := &runner{
+		o: o, feed: f,
+		client:  &http.Client{Timeout: 2 * time.Minute},
+		cursors: make([]int64, o.tenants),
+	}
+	fmt.Printf("loadgen: feed %d events (natural %.0f eps), %d tenant(s), %d-event batches\n",
+		len(f.events), f.naturalEPS(), o.tenants, o.batch)
+
+	rep := report{
+		Target: o.addr, Tenants: o.tenants,
+		FeedSeed: o.seed, FeedWeeks: o.weeks, FeedScale: o.scale,
+		FeedStorms: o.storms, FeedEvents: len(f.events),
+		FeedNaturalEPS: f.naturalEPS(), BatchSize: o.batch,
+		Cores:       runtime.GOMAXPROCS(0),
+		P99TargetMs: ms(o.p99Target),
+	}
+	for i, st := range r.o.steps {
+		res, err := r.runStep(st)
+		if err != nil {
+			return fmt.Errorf("step %d (%.0f eps): %w", i+1, st.rate, err)
+		}
+		rep.Steps = append(rep.Steps, res)
+		mark := ""
+		if st.overdrive {
+			mark = " [overdrive]"
+		}
+		fmt.Printf("loadgen: %7.0f eps offered%s: %7.0f achieved | p50 %6.1fms p99 %6.1fms | 429s %d | drain %dms | warn lag %dms\n",
+			res.OfferedEPS, mark, res.AchievedEPS, res.P50Ms, res.P99Ms,
+			res.Rejected429, res.DrainMs, res.WarningLagMs)
+		if o.ledger != "" {
+			r.ledger.StepsCompleted = i + 1
+			if err := writeJSONAtomic(o.ledger, r.ledger); err != nil {
+				return fmt.Errorf("ledger: %w", err)
+			}
+		}
+	}
+
+	// Capacity verdict: the highest rate the service actually sustained
+	// while meeting the latency target.
+	for _, s := range rep.Steps {
+		if s.P99Ms <= rep.P99TargetMs && s.AchievedEPS > rep.CapacityEPS {
+			rep.CapacityEPS = s.AchievedEPS
+		}
+	}
+	rep.CapacityEPSPerCore = rep.CapacityEPS / float64(rep.Cores)
+	if err := writeJSONAtomic(o.out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: capacity %.0f events/s (%.0f per core) at p99 <= %.0fms — wrote %s\n",
+		rep.CapacityEPS, rep.CapacityEPSPerCore, rep.P99TargetMs, o.out)
+	return nil
+}
+
+// workerResult is one tenant's tally for one step.
+type workerResult struct {
+	lat            []time.Duration
+	requests       int64
+	accepted       int64
+	rejected429    int64
+	unavailable503 int64
+	netErrs        int64
+	err            error
+}
+
+func (r *runner) runStep(st step) (stepResult, error) {
+	before, err := r.sumStats()
+	if err != nil {
+		return stepResult{}, err
+	}
+	bpBefore, err := r.backpressureSum()
+	if err != nil {
+		return stepResult{}, err
+	}
+
+	perTenant := st.rate / float64(r.o.tenants)
+	deadline := time.Now().Add(r.o.stepDur)
+	results := make([]workerResult, r.o.tenants)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < r.o.tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.work(i, perTenant, deadline, &results[i])
+		}(i)
+	}
+	wg.Wait()
+	sendDur := time.Since(t0)
+
+	var agg workerResult
+	for i := range results {
+		if results[i].err != nil {
+			return stepResult{}, results[i].err
+		}
+		agg.lat = append(agg.lat, results[i].lat...)
+		agg.requests += results[i].requests
+		agg.accepted += results[i].accepted
+		agg.rejected429 += results[i].rejected429
+		agg.unavailable503 += results[i].unavailable503
+		agg.netErrs += results[i].netErrs
+	}
+	sort.Slice(agg.lat, func(i, j int) bool { return agg.lat[i] < agg.lat[j] })
+
+	drainMs, warnLagMs, after, err := r.settle(before)
+	if err != nil {
+		return stepResult{}, err
+	}
+	bpAfter, err := r.backpressureSum()
+	if err != nil {
+		return stepResult{}, err
+	}
+	d := after.sub(before)
+	r.ledger.Accepted += agg.accepted
+	r.ledger.Sequenced = after.Sequenced
+
+	res := stepResult{
+		OfferedEPS:      st.rate,
+		TimeCompression: st.rate / r.feed.naturalEPS(),
+		Overdrive:       st.overdrive,
+		DurationSec:     sendDur.Seconds(),
+		Requests:        agg.requests,
+		AcceptedEvents:  agg.accepted,
+		AchievedEPS:     float64(agg.accepted) / sendDur.Seconds(),
+		P50Ms:           ms(percentile(agg.lat, 0.50)),
+		P99Ms:           ms(percentile(agg.lat, 0.99)),
+		MaxMs:           ms(percentile(agg.lat, 1)),
+		Rejected429:     agg.rejected429,
+		Unavailable503:  agg.unavailable503,
+		NetErrors:       agg.netErrs,
+		Sequenced:       d.Sequenced,
+		LateDropped:     d.LateDropped,
+		ReorderOverflow: d.ReorderOverflow,
+		BackpressureSec: bpAfter - bpBefore,
+		Warnings:        d.WarningsTotal,
+		DrainMs:         drainMs,
+		WarningLagMs:    warnLagMs,
+	}
+	// The closed-loop no-loss check: everything acknowledged accepted must
+	// be ingested server-side (sequencing can legitimately trail by the
+	// reorder buffer's contents, which drain on the next step or close).
+	if d.Ingested < agg.accepted {
+		return res, fmt.Errorf("server ingested %d of %d accepted events: admitted events were lost",
+			d.Ingested, agg.accepted)
+	}
+	return res, nil
+}
+
+// work replays the feed into one tenant until deadline: one batch in
+// flight, paced to the offered rate, resuming from the first unaccepted
+// line on 429/503 so the tenant's event order is never broken.
+func (r *runner) work(ti int, rate float64, deadline time.Time, res *workerResult) {
+	base := r.tenantURL(ti)
+	interval := time.Duration(float64(r.o.batch) / rate * float64(time.Second))
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		body := r.feed.batch(r.cursors[ti], r.o.batch)
+		t0 := time.Now()
+		resp, err := r.client.Post(base+"/ingest/batch", "text/plain", bytes.NewReader(body))
+		lat := time.Since(t0)
+		if err != nil {
+			res.netErrs++
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		var ir ingestResponse
+		derr := json.NewDecoder(resp.Body).Decode(&ir)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if derr != nil {
+			res.netErrs++
+			continue
+		}
+		res.lat = append(res.lat, lat)
+		res.requests++
+		res.accepted += int64(ir.Accepted)
+		r.cursors[ti] += int64(ir.Accepted)
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			res.rejected429++
+			time.Sleep(retryAfter(resp))
+		case http.StatusServiceUnavailable:
+			res.unavailable503++
+			time.Sleep(200 * time.Millisecond)
+		default:
+			res.err = fmt.Errorf("tenant %d: ingest HTTP %d: %s (fleet daemon required for -tenants > 1?)",
+				ti, resp.StatusCode, ir.Error)
+			return
+		}
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		} else {
+			next = time.Now() // saturated: don't accumulate debt
+		}
+	}
+}
+
+func retryAfter(resp *http.Response) time.Duration {
+	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+		return time.Duration(s) * time.Second
+	}
+	return 250 * time.Millisecond
+}
+
+// settle polls aggregate stats after sending stops until sequencing and
+// warning emission both go quiet, returning how long each kept moving —
+// the pipeline drain time and the warning-emission lag.
+func (r *runner) settle(before serverStats) (drainMs, warnLagMs int64, final serverStats, err error) {
+	t0 := time.Now()
+	prev, err := r.sumStats()
+	if err != nil {
+		return 0, 0, prev, err
+	}
+	if prev.Sequenced != before.Sequenced {
+		drainMs = int64(time.Since(t0) / time.Millisecond)
+	}
+	if prev.WarningsTotal != before.WarningsTotal {
+		warnLagMs = int64(time.Since(t0) / time.Millisecond)
+	}
+	deadline := t0.Add(15 * time.Second)
+	stable := 0
+	for time.Now().Before(deadline) && stable < 4 {
+		time.Sleep(50 * time.Millisecond)
+		cur, err := r.sumStats()
+		if err != nil {
+			return drainMs, warnLagMs, prev, err
+		}
+		moved := false
+		if cur.Sequenced != prev.Sequenced {
+			drainMs = int64(time.Since(t0) / time.Millisecond)
+			moved = true
+		}
+		if cur.WarningsTotal != prev.WarningsTotal {
+			warnLagMs = int64(time.Since(t0) / time.Millisecond)
+			moved = true
+		}
+		if moved {
+			stable = 0
+		} else {
+			stable++
+		}
+		prev = cur
+	}
+	return drainMs, warnLagMs, prev, nil
+}
+
+// sumStats aggregates /stats across every tenant this run feeds. A 404
+// means the tenant does not exist yet (nothing POSTed) — zero counts.
+func (r *runner) sumStats() (serverStats, error) {
+	var agg serverStats
+	for i := 0; i < r.o.tenants; i++ {
+		resp, err := r.client.Get(r.tenantURL(i) + "/stats")
+		if err != nil {
+			return agg, err
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		var st serverStats
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return agg, fmt.Errorf("tenant %d stats: %w", i, err)
+		}
+		agg.Ingested += st.Ingested
+		agg.Sequenced += st.Sequenced
+		agg.LateDropped += st.LateDropped
+		agg.Rejected += st.Rejected
+		agg.ReorderOverflow += st.ReorderOverflow
+		agg.WarningsTotal += st.WarningsTotal
+	}
+	return agg, nil
+}
+
+// backpressureSum scrapes the daemon's /metrics and sums every
+// stream_ingest_backpressure_seconds_sum series (one per tenant under
+// -fleet, unlabeled otherwise): total wall time ingest calls spent
+// waiting for a pipeline slot.
+func (r *runner) backpressureSum() (float64, error) {
+	resp, err := r.client.Get(r.o.addr + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	const name = "stream_ingest_backpressure_seconds_sum"
+	total := 0.0
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{") {
+			continue // a longer metric name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			continue
+		}
+		total += v
+	}
+	return total, nil
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted)) * q)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// writeJSONAtomic writes v to path via a same-directory temp file and
+// rename, so a reader (or a kill) never sees a torn file.
+func writeJSONAtomic(path string, v interface{}) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -6,8 +6,10 @@
 //	serve [-addr :8080] [-filter 300] [-window 300] [-train 26] [-retrain 4]
 //	      [-policy sliding|whole|static] [-shards 4] [-reorder 60]
 //	      [-parallelism 0] [-pprof] [-state-dir DIR]
+//	      [-admit-wait 2s] [-read-header-timeout 10s] [-read-timeout 5m]
+//	      [-idle-timeout 2m]
 //	      [-fleet] [-default-tenant default] [-max-active 0]
-//	      [-idle-evict 0] [-retrain-workers 0]
+//	      [-idle-evict 0] [-retrain-workers 0] [-ingest-slots 0]
 //
 // API:
 //
@@ -30,6 +32,16 @@
 // evicts tenants idle that long (0 = never), and -retrain-workers bounds
 // concurrent background training passes fleet-wide (0 = GOMAXPROCS,
 // negative = unlimited).
+//
+// Overload behavior (DESIGN.md §13): when the pipeline is saturated an
+// ingest request waits up to -admit-wait for a slot, then gets a 429
+// with Retry-After and the first-unaccepted line number, so a client
+// backs off and resumes exactly where it stopped — nothing admitted is
+// ever dropped or reordered. In fleet mode -ingest-slots additionally
+// caps each tenant's concurrent ingest requests (0 = 4, negative =
+// uncapped) so one storming tenant cannot camp every admission slot.
+// The -read-header-timeout/-read-timeout/-idle-timeout flags bound how
+// long a stalled or idle connection may hold server resources.
 //
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ for
 // CPU/heap/goroutine profiling of the live service. It is opt-in: the
@@ -84,6 +96,11 @@ func main() {
 	maxActive := flag.Int("max-active", 0, "fleet: soft cap on resident tenants, LRU-evicted (0 = uncapped)")
 	idleEvict := flag.Duration("idle-evict", 0, "fleet: evict tenants idle this long, e.g. 30m (0 = never)")
 	retrainWorkers := flag.Int("retrain-workers", 0, "fleet: concurrent background training passes (0 = GOMAXPROCS, negative = unlimited)")
+	admitWait := flag.Duration("admit-wait", 2*time.Second, "max time an ingest request waits for a pipeline slot before a 429")
+	ingestSlots := flag.Int("ingest-slots", 0, "fleet: per-tenant concurrent ingest request cap (0 = 4, negative = uncapped)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "close connections whose request header stalls this long")
+	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "close connections whose request body stalls this long")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "close keep-alive connections idle this long")
 	flag.Parse()
 
 	opts := serveOpts{
@@ -92,6 +109,9 @@ func main() {
 		queue: *queue, parallelism: *parallelism, pprofOn: *pprofOn,
 		stateDir: *stateDir, fleetOn: *fleetOn, defaultTenant: *defaultTenant,
 		maxActive: *maxActive, idleEvict: *idleEvict, retrainWorkers: *retrainWorkers,
+		admitWait: *admitWait, ingestSlots: *ingestSlots,
+		readHeaderTimeout: *readHeaderTimeout, readTimeout: *readTimeout,
+		idleTimeout: *idleTimeout,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
@@ -115,6 +135,12 @@ type serveOpts struct {
 	maxActive      int
 	idleEvict      time.Duration
 	retrainWorkers int
+	admitWait      time.Duration
+	ingestSlots    int
+
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	idleTimeout       time.Duration
 }
 
 func streamConfig(o serveOpts) (stream.Config, error) {
@@ -129,6 +155,7 @@ func streamConfig(o serveOpts) (stream.Config, error) {
 	cfg.ReorderWindow = time.Duration(o.reorder) * time.Second
 	cfg.QueueLen = o.queue
 	cfg.Parallelism = o.parallelism
+	cfg.AdmitWait = o.admitWait
 	switch o.policy {
 	case "sliding":
 		cfg.Policy = engine.Sliding
@@ -140,6 +167,22 @@ func streamConfig(o serveOpts) (stream.Config, error) {
 		return cfg, fmt.Errorf("unknown policy %q", o.policy)
 	}
 	return cfg, nil
+}
+
+// newServer builds the daemon's http.Server with connection hygiene a
+// long-lived ingest endpoint needs: without these timeouts a client
+// that stalls mid-header (deliberately or not) pins a connection — and
+// under -fleet an admission slot's worth of goodwill — forever. The
+// body timeout is generous because legitimate batch uploads stream
+// multi-megabyte logs over slow links.
+func newServer(o serveOpts, mux *http.ServeMux) *http.Server {
+	return &http.Server{
+		Addr:              o.addr,
+		Handler:           mux,
+		ReadHeaderTimeout: o.readHeaderTimeout,
+		ReadTimeout:       o.readTimeout,
+		IdleTimeout:       o.idleTimeout,
+	}
 }
 
 func run(o serveOpts) error {
@@ -161,6 +204,7 @@ func run(o serveOpts) error {
 			MaxActive:          o.maxActive,
 			IdleAfter:          o.idleEvict,
 			RetrainConcurrency: o.retrainWorkers,
+			IngestSlots:        o.ingestSlots,
 		})
 		if err != nil {
 			return err
@@ -202,7 +246,7 @@ func run(o serveOpts) error {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	srv := &http.Server{Addr: o.addr, Handler: mux}
+	srv := newServer(o, mux)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

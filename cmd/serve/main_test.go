@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// testServer starts a newServer-built daemon on a loopback listener
+// with a tiny in-memory pipeline behind it, returning its base URL.
+func testServer(t *testing.T, o serveOpts) string {
+	t.Helper()
+	cfg := stream.Defaults()
+	cfg.InitialTrain = 1 << 40 * time.Millisecond // never trains
+	svc, err := stream.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	srv := newServer(o, stream.NewMux(svc))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// TestStalledHeaderConnectionReaped is the slowloris pin: a client that
+// opens a connection and never finishes its request header must be
+// disconnected once ReadHeaderTimeout elapses, not hold the connection
+// (and, in fleet mode, eventually an admission slot) forever.
+func TestStalledHeaderConnectionReaped(t *testing.T) {
+	const headerTimeout = 300 * time.Millisecond
+	addr := testServer(t, serveOpts{
+		readHeaderTimeout: headerTimeout,
+		readTimeout:       time.Minute,
+		idleTimeout:       time.Minute,
+	})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A syntactically valid prefix that never completes: no blank line.
+	if _, err := fmt.Fprintf(conn, "POST /ingest HTTP/1.1\r\nHost: x\r\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server must hang up on its own; the read deadline here is only
+	// the test's backstop and is far beyond the configured timeout.
+	conn.SetReadDeadline(time.Now().Add(10 * headerTimeout))
+	t0 := time.Now()
+	buf := make([]byte, 256)
+	_, err = conn.Read(buf)
+	elapsed := time.Since(t0)
+	if err == nil {
+		t.Fatal("server responded to an incomplete header instead of closing")
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatalf("connection still open %v after a %v ReadHeaderTimeout", elapsed, headerTimeout)
+	}
+	if elapsed > 5*headerTimeout {
+		t.Errorf("stalled connection reaped after %v, want ~%v", elapsed, headerTimeout)
+	}
+}
+
+// TestServerStillServesWithTimeouts sanity-checks that well-behaved
+// requests are untouched by the connection timeouts.
+func TestServerStillServesWithTimeouts(t *testing.T) {
+	addr := testServer(t, serveOpts{
+		readHeaderTimeout: 300 * time.Millisecond,
+		readTimeout:       time.Minute,
+		idleTimeout:       time.Minute,
+	})
+	resp, err := http.Post("http://"+addr+"/ingest", "text/plain",
+		strings.NewReader("1|RAS|1|0|R00-M0-N0-C:J01-U01|KERNEL|INFO|probe\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := bufio.NewReader(resp.Body).ReadString('\n')
+		t.Fatalf("ingest status %d: %s", resp.StatusCode, body)
+	}
+}

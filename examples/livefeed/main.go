@@ -31,6 +31,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"time"
 
 	"repro"
@@ -196,8 +197,11 @@ func postBatch(addr string, lines []string) (int, error) {
 		switch resp.StatusCode {
 		case http.StatusOK:
 			return accepted, nil
-		case http.StatusServiceUnavailable:
-			// Lines before ir.Line were accepted; resume from there.
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			// Lines before ir.Line were accepted; resume from there. A 429
+			// (admission timed out at a saturated pipeline) carries the same
+			// resume contract as a 503 (restarting daemon); when the server
+			// sends a Retry-After hint longer than our backoff, honor it.
 			if ir.Line > 0 {
 				lines = lines[ir.Line-1:]
 			}
@@ -205,9 +209,13 @@ func postBatch(addr string, lines []string) (int, error) {
 				failures = 0
 				delay = retryBase
 			}
+			if s, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil &&
+				time.Duration(s)*time.Second > delay {
+				delay = time.Duration(s) * time.Second
+			}
 			failures++
-			log.Printf("livefeed: daemon busy (%s), %d lines left (retry %d/%d in %s)",
-				ir.Error, len(lines), failures, retryCap, delay)
+			log.Printf("livefeed: daemon busy (HTTP %d: %s), %d lines left (retry %d/%d in %s)",
+				resp.StatusCode, ir.Error, len(lines), failures, retryCap, delay)
 		default:
 			return accepted, fmt.Errorf("ingest rejected (HTTP %d): %s", resp.StatusCode, ir.Error)
 		}

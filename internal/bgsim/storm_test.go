@@ -1,0 +1,79 @@
+package bgsim
+
+import "testing"
+
+// stormANL is smallANL with heavy log storms: ten half-hour windows a
+// day at 50x the background rate. Deliberately extreme — inserting any
+// storm draws reshuffles every later RNG draw, so the volume check
+// below compares two *different* random logs and the storm surplus has
+// to dominate ordinary seed-to-seed variance to be detectable.
+func stormANL(seed uint64, weeks int) *Config {
+	cfg := smallANL(seed, weeks)
+	cfg.LogStormsPerWeek = 70
+	cfg.LogStormFactor = 50
+	cfg.LogStormMinutes = 30
+	return cfg
+}
+
+// TestLogStormsIncreaseVolume pins that enabling storms actually adds
+// events: the same seed with storms on must produce a strictly larger
+// log, and the additions must not disturb ordering or validity.
+func TestLogStormsIncreaseVolume(t *testing.T) {
+	base := generate(t, smallANL(11, 2))
+	storm := generate(t, stormANL(11, 2))
+	if storm.Len() <= base.Len() {
+		t.Fatalf("storm log has %d events, base %d: storms added nothing",
+			storm.Len(), base.Len())
+	}
+	if err := storm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogStormsDeterministic: storms draw from the same seeded RNG
+// stream as everything else, so a fixed seed reproduces byte-identical.
+func TestLogStormsDeterministic(t *testing.T) {
+	a := generate(t, stormANL(23, 2))
+	b := generate(t, stormANL(23, 2))
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs:\n%v\n%v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+// TestLogStormsOffIsByteIdentical is the compatibility pin: a config
+// with the storm knobs at their zero values must consume no randomness
+// for them, leaving existing seeds' output untouched.
+func TestLogStormsOffIsByteIdentical(t *testing.T) {
+	a := generate(t, smallANL(5, 2))
+	cfg := smallANL(5, 2)
+	cfg.LogStormsPerWeek = 0 // explicit, same as unset
+	b := generate(t, cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ with storms off: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs with storms off:\n%v\n%v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+// TestLogStormValidation rejects half-configured storms.
+func TestLogStormValidation(t *testing.T) {
+	for name, mut := range map[string]func(*Config){
+		"negative rate":  func(c *Config) { c.LogStormsPerWeek = -1 },
+		"factor not > 1": func(c *Config) { c.LogStormsPerWeek = 7; c.LogStormFactor = 1 },
+		"zero minutes":   func(c *Config) { c.LogStormsPerWeek = 7; c.LogStormFactor = 4; c.LogStormMinutes = 0 },
+	} {
+		cfg := smallANL(1, 1)
+		mut(cfg)
+		if _, err := NewGenerator(cfg); err == nil {
+			t.Errorf("%s: NewGenerator accepted an invalid storm config", name)
+		}
+	}
+}

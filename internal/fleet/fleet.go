@@ -72,6 +72,14 @@ type Config struct {
 	// RetrainConcurrency bounds concurrent background training passes
 	// across the whole fleet: 0 means GOMAXPROCS, negative unlimited.
 	RetrainConcurrency int
+	// IngestSlots caps concurrently-admitted ingest requests *per
+	// tenant*. Requests over the cap are refused immediately (HTTP 429 +
+	// Retry-After) instead of queueing, so a storming tenant saturates
+	// only its own slots — it cannot pile up goroutines that sit in the
+	// shared admission wait and starve quieter tenants of CPU and
+	// connections (TestStormingTenantCannotStarveQuietTenant). Non-ingest
+	// routes are never throttled. 0 means 4; negative disables the cap.
+	IngestSlots int
 }
 
 // Registry owns the fleet's tenants. Lock order: Registry.mu is never
@@ -98,6 +106,11 @@ type Registry struct {
 type tenant struct {
 	id string
 
+	// ingestSem is the tenant's ingest-slot semaphore (nil when the cap
+	// is disabled). It outlives eviction — slots gate *requests*, which
+	// exist whether or not the pipeline is currently active.
+	ingestSem chan struct{}
+
 	mu   sync.Mutex
 	svc  *stream.Service
 	mux  *http.ServeMux
@@ -106,6 +119,41 @@ type tenant struct {
 	active      atomic.Bool
 	activations atomic.Int64
 	lastUse     atomic.Int64 // wall clock, unix ms
+}
+
+// newTenant mints a registry slot for id. Called with Registry.mu held
+// (or before the registry is shared).
+func (r *Registry) newTenant(id string) *tenant {
+	tn := &tenant{id: id}
+	if n := r.ingestSlots(); n > 0 {
+		tn.ingestSem = make(chan struct{}, n)
+	}
+	return tn
+}
+
+func (r *Registry) ingestSlots() int {
+	switch {
+	case r.cfg.IngestSlots == 0:
+		return 4
+	case r.cfg.IngestSlots > 0:
+		return r.cfg.IngestSlots
+	}
+	return 0
+}
+
+// admitIngest reserves one of the tenant's ingest slots; ok=false means
+// the tenant is already at its concurrency cap and the request should be
+// refused with 429. release must be called exactly once when ok.
+func (tn *tenant) admitIngest() (release func(), ok bool) {
+	if tn.ingestSem == nil {
+		return func() {}, true
+	}
+	select {
+	case tn.ingestSem <- struct{}{}:
+		return func() { <-tn.ingestSem }, true
+	default:
+		return nil, false
+	}
 }
 
 // New opens a fleet registry, re-registering (without activating) every
@@ -139,11 +187,11 @@ func New(cfg Config) (*Registry, error) {
 			return nil, fmt.Errorf("fleet: scanning %s: %w", cfg.Root, err)
 		}
 		for _, id := range ids {
-			r.tenants[id] = &tenant{id: id}
+			r.tenants[id] = r.newTenant(id)
 		}
 	}
 	if _, ok := r.tenants[cfg.DefaultTenant]; !ok {
-		r.tenants[cfg.DefaultTenant] = &tenant{id: cfg.DefaultTenant}
+		r.tenants[cfg.DefaultTenant] = r.newTenant(cfg.DefaultTenant)
 	}
 	r.m = newMetrics(r)
 	if cfg.IdleAfter > 0 {
@@ -203,7 +251,7 @@ func (r *Registry) Acquire(id string, create bool) (Handle, error) {
 			r.mu.Unlock()
 			return Handle{}, fmt.Errorf("%w: %q", ErrUnknownTenant, id)
 		}
-		tn = &tenant{id: id}
+		tn = r.newTenant(id)
 		r.tenants[id] = tn
 	}
 	r.mu.Unlock()

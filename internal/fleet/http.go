@@ -68,16 +68,46 @@ func (r *Registry) handleTenant(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	defer h.Release()
+	rest := "/" + req.PathValue("rest")
+	if isIngestRoute(req.Method, rest) {
+		release, ok := h.tn.admitIngest()
+		if !ok {
+			r.writeThrottled(w, id)
+			return
+		}
+		defer release()
+	}
 	// Shallow-copy the request with the tenant prefix stripped, the same
 	// contract http.StripPrefix implements, so the tenant mux sees the
 	// exact paths stream.NewMux registers.
 	r2 := new(http.Request)
 	*r2 = *req
 	u := *req.URL
-	u.Path = "/" + req.PathValue("rest")
+	u.Path = rest
 	u.RawPath = ""
 	r2.URL = &u
 	h.ServeHTTP(w, r2)
+}
+
+// isIngestRoute matches the two event-bearing routes the per-tenant
+// slot cap applies to; everything else (stats, warnings, retrain) stays
+// unthrottled so a storming tenant remains observable.
+func isIngestRoute(method, path string) bool {
+	return method == http.MethodPost && (path == "/ingest" || path == "/ingest/batch")
+}
+
+// writeThrottled refuses an ingest request at the tenant's concurrency
+// cap: immediate 429 + Retry-After, shaped like the stream layer's own
+// saturation response so clients handle both identically (back off, then
+// resume — nothing from the request body was accepted, so Line is 1).
+func (r *Registry) writeThrottled(w http.ResponseWriter, id string) {
+	r.m.throttled.Inc()
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, map[string]interface{}{
+		"accepted": 0,
+		"line":     1,
+		"error":    fmt.Sprintf("fleet: tenant %q at its ingest concurrency cap", id),
+	})
 }
 
 // delegateDefault serves a legacy unprefixed route on the default
@@ -90,6 +120,14 @@ func (r *Registry) delegateDefault(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	defer h.Release()
+	if isIngestRoute(req.Method, req.URL.Path) {
+		release, ok := h.tn.admitIngest()
+		if !ok {
+			r.writeThrottled(w, r.cfg.DefaultTenant)
+			return
+		}
+		defer release()
+	}
 	h.ServeHTTP(w, req)
 }
 

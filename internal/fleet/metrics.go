@@ -24,6 +24,7 @@ type metrics struct {
 	reg         *obsv.Registry
 	activations *obsv.Counter
 	evictions   *obsv.Counter
+	throttled   *obsv.Counter
 
 	retiredIngested  atomic.Int64
 	retiredProcessed atomic.Int64
@@ -55,6 +56,8 @@ func newMetrics(r *Registry) *metrics {
 		"Tenant activations (first use and post-eviction recoveries).")
 	m.evictions = m.reg.Counter("fleet_evictions_total",
 		"Tenant evictions (idle sweeps, the MaxActive cap, explicit Evict).")
+	m.throttled = m.reg.Counter("fleet_ingest_throttled_total",
+		"Ingest requests refused at a tenant's concurrency cap (HTTP 429).")
 	m.reg.CounterFunc("fleet_ingested_total",
 		"Events accepted across all tenants, including evicted ones.",
 		func() int64 { return r.liveTotals().Ingested + m.retiredIngested.Load() })

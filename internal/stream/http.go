@@ -67,24 +67,35 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		resp.Error = err.Error()
 		resp.Line = sc.Line()
-		// Malformed input is the client's fault (400); a closed service
-		// or a request that ran out of time against backpressure is not —
-		// the batch is retryable (503). Ingest errors may arrive wrapped,
-		// so compare with errors.Is, never ==.
-		status = http.StatusBadRequest
-		if errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) ||
-			errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusServiceUnavailable
-		}
+		status = ingestStatus(w, err)
 	}
 	writeJSON(w, status, resp)
 }
 
+// ingestStatus maps an ingest failure to its HTTP status, setting any
+// status-specific headers on w (before the status is written). Malformed
+// input is the client's fault (400). A saturated pipeline is overload:
+// 429 plus Retry-After, and the line-resume contract applies — the
+// client should back off, then resume the batch from Line. A closed
+// service or an expired request context is 503, same resume contract.
+// Ingest errors may arrive wrapped, so compare with errors.Is, never ==.
+func ingestStatus(w http.ResponseWriter, err error) int {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed), errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
 // ingestBatchChunk caps one IngestBatch call (and therefore one WAL
-// frame) from the batch endpoint. Chunking also gives the 503 resume
-// protocol its granularity: a batch that fails against backpressure or
-// shutdown reports the first line of the first unconsumed chunk, and
-// everything before it is already accepted.
+// frame) from the batch endpoint. Chunking also gives the 429/503
+// resume protocol its granularity: a batch that fails against
+// backpressure or shutdown reports the first line of the first
+// unconsumed chunk, and everything before it is already accepted.
 const ingestBatchChunk = 1024
 
 // handleIngestBatch serves POST /ingest/batch: the same
@@ -93,9 +104,9 @@ const ingestBatchChunk = 1024
 // WAL group commit instead of paying the log write per event. The
 // response protocol matches /ingest exactly — on error, Line is the
 // 1-based input line to resume from: lines before it were accepted,
-// whether the failure was a decode error (400) or an unavailable
-// service (503). A decode error mid-body still ingests every line
-// parsed before it.
+// whether the failure was a decode error (400), a saturated pipeline
+// (429), or an unavailable service (503). A decode error mid-body still
+// ingests every line parsed before it.
 func (s *Service) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, maxIngestBody)
 	sc := raslog.NewScanner(body)
@@ -129,11 +140,7 @@ func (s *Service) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	if err != nil {
 		resp.Error = err.Error()
-		status = http.StatusBadRequest
-		if errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) ||
-			errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusServiceUnavailable
-		}
+		status = ingestStatus(w, err)
 	}
 	writeJSON(w, status, resp)
 }

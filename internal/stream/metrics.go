@@ -27,6 +27,7 @@ type metrics struct {
 	processed       *obsv.Counter // survived the spatial filter (collector)
 	fatals          *obsv.Counter
 	warningsTotal   *obsv.Counter
+	rejected        *obsv.Counter // admission timeouts (ErrSaturated / HTTP 429)
 
 	// Durability instruments (all stay zero without a StateDir).
 	walBytes        *obsv.Counter
@@ -53,6 +54,11 @@ type metrics struct {
 	seqLatency     *obsv.Histogram
 	shardLatency   *obsv.Histogram
 	collectLatency *obsv.Histogram
+	// backpressure records admission slow-path waits: how long ingest
+	// callers stalled on a full sequencer queue, whether the slot
+	// eventually opened or the wait timed out into a rejection. The fast
+	// path (queue had room) observes nothing.
+	backpressure *obsv.Histogram
 
 	// training carries the live Table 5: per-learner durations, reviser
 	// time, retrain duration, rule churn (shared with the offline engine).
@@ -81,6 +87,8 @@ func newMetrics(s *Service) *metrics {
 			"Fatal events observed after filtering."),
 		warningsTotal: reg.Counter("stream_warnings_total",
 			"Failure warnings emitted by the live predictor."),
+		rejected: reg.Counter("stream_ingest_rejected_total",
+			"Ingest calls rejected after waiting AdmitWait on a saturated pipeline (HTTP 429s)."),
 		reorderDepth: reg.Gauge("stream_reorder_depth",
 			"Events currently held in the sequencer's reorder buffer."),
 		rules: reg.Gauge("stream_rules",
@@ -99,6 +107,11 @@ func newMetrics(s *Service) *metrics {
 		obsv.Label{Key: "stage", Value: "shard"})
 	m.collectLatency = reg.Histogram("stream_stage_latency_seconds", "", stageBuckets,
 		obsv.Label{Key: "stage", Value: "collector"})
+	// Admission waits run from sub-millisecond blips to the full
+	// AdmitWait; start the buckets coarser than the stage latencies.
+	m.backpressure = reg.Histogram("stream_ingest_backpressure_seconds",
+		"Time ingest callers spent waiting on a full pipeline (slow-path admissions and rejections).",
+		obsv.ExpBuckets(1e-4, 4, 10))
 
 	m.walBytes = reg.Counter("stream_wal_bytes_total",
 		"Bytes appended to the write-ahead log.")

@@ -108,6 +108,7 @@ func TestStatsMetricsConsistency(t *testing.T) {
 		"stream_ingested_total":       float64(st.Ingested),
 		"stream_sequenced_total":      float64(st.Sequenced),
 		"stream_late_dropped_total":   float64(st.LateDropped),
+		"stream_ingest_rejected_total": float64(st.Rejected),
 		"stream_after_temporal_total": float64(st.AfterTemporal),
 		"stream_processed_total":      float64(st.Processed),
 		"stream_fatals_total":         float64(st.Fatals),
@@ -217,6 +218,8 @@ func TestMetricsEndpointCoverage(t *testing.T) {
 		"stream_late_dropped_total",
 		"stream_reorder_depth",
 		"stream_warnings_total",
+		"stream_ingest_rejected_total",
+		`stream_ingest_backpressure_seconds_bucket{le="+Inf"}`,
 		"train_errors_total",
 		"train_incr_expired_events_total",
 		"train_rules_unchanged_total",

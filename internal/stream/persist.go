@@ -147,9 +147,11 @@ func (s *Service) restoreSnapshot(snap *persist.Snapshot) error {
 	}
 	s.mu.Lock()
 	s.history = append(s.history[:0], snap.History...)
-	s.warnings = append(s.warnings[:0], snap.Warnings...)
 	s.retrains = recs
 	s.mu.Unlock()
+	s.warnMu.Lock()
+	s.warnings = append(s.warnings[:0], snap.Warnings...)
+	s.warnMu.Unlock()
 	for _, rec := range recs {
 		// Feed the training metrics back so train_* counters continue
 		// across restarts instead of resetting.
@@ -242,9 +244,11 @@ func (s *Service) buildSnapshot() (*persist.Snapshot, error) {
 	s.mu.Lock()
 	snap.NextRetrainMs = s.nextRetrainMs()
 	snap.History = append([]preprocess.TaggedEvent(nil), s.history...)
-	snap.Warnings = append([]predictor.Warning(nil), s.warnings...)
 	recs := append([]RetrainRecord(nil), s.retrains...)
 	s.mu.Unlock()
+	s.warnMu.Lock()
+	snap.Warnings = append([]predictor.Warning(nil), s.warnings...)
+	s.warnMu.Unlock()
 	if len(recs) > 0 {
 		raw, err := json.Marshal(recs)
 		if err != nil {

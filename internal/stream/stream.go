@@ -55,6 +55,12 @@ import (
 // ErrClosed is returned by Ingest after Close.
 var ErrClosed = errors.New("stream: service closed")
 
+// ErrSaturated is returned by Ingest/IngestBatch when the pipeline stayed
+// full for the whole admission wait (Config.AdmitWait). The event was NOT
+// accepted; the caller may retry. The HTTP layer maps it to 429 with a
+// Retry-After header. Errors arrive wrapped — test with errors.Is.
+var ErrSaturated = errors.New("stream: pipeline saturated")
+
 // Config parameterizes a Service. Durations are measured in *stream time*
 // (event timestamps), so replayed or time-compressed feeds retrain on
 // their own timeline, exactly like the offline engine.
@@ -100,6 +106,14 @@ type Config struct {
 	// WarningsKeep is how many recent warnings GET /warnings can serve.
 	// Zero means 256.
 	WarningsKeep int
+	// AdmitWait bounds how long Ingest/IngestBatch block against a
+	// saturated pipeline before giving up with ErrSaturated. Backpressure
+	// still applies — callers wait up to this long for a queue slot — but
+	// a wedged or overdriven service sheds load in bounded time instead of
+	// holding every caller (and its request body) hostage. Zero means 30s,
+	// a library-level backstop; cmd/serve defaults its -admit-wait flag
+	// much lower.
+	AdmitWait time.Duration
 
 	// StateDir enables durable state — snapshots plus a write-ahead log
 	// rooted at this directory (see internal/persist and DESIGN.md §9).
@@ -183,6 +197,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if out.WarningsKeep <= 0 {
 		out.WarningsKeep = 256
+	}
+	if out.AdmitWait <= 0 {
+		out.AdmitWait = 30 * time.Second
 	}
 	return out, nil
 }
@@ -269,8 +286,15 @@ type Service struct {
 
 	mu       sync.Mutex
 	history  []preprocess.TaggedEvent
-	warnings []predictor.Warning // ring of the last WarningsKeep
 	retrains []RetrainRecord
+
+	// The warnings ring lives under its own mutex, NOT under mu: readers
+	// (GET /warnings, the fleet firehose) copy the ring here and format it
+	// outside any lock, so a slow reader can never hold the service mutex
+	// against the collector's hot path. The collector takes warnMu only on
+	// the rare event that actually emits warnings.
+	warnMu   sync.Mutex
+	warnings []predictor.Warning // ring of the last WarningsKeep
 }
 
 // Stream-time accessors over the metric gauges (ms). streamStart is -1
@@ -338,21 +362,48 @@ func New(cfg Config) (*Service, error) {
 }
 
 // Ingest feeds one raw event. It blocks while the pipeline is saturated
-// (backpressure) until ctx is done or the service is closed. Events may
-// arrive modestly out of order (within ReorderWindow); later ones are
-// dropped and counted.
+// (backpressure) for at most Config.AdmitWait, then fails with
+// ErrSaturated (or earlier with ctx's error); the event is accepted iff
+// the return is nil. Events may arrive modestly out of order (within
+// ReorderWindow); later ones are dropped and counted.
 func (s *Service) Ingest(ctx context.Context, e raslog.Event) error {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
+	if err := s.admit(ctx, ingestMsg{e: e}); err != nil {
+		return err
+	}
+	s.m.ingested.Inc()
+	return nil
+}
+
+// admit hands msg to the sequencer. The fast path is a non-blocking send
+// — no timer, no allocation, so an unsaturated pipeline keeps the
+// zero-alloc budget. Only when the queue is full does it arm a timer and
+// wait up to AdmitWait, recording the stall either way: admission waits
+// feed the backpressure histogram, timeouts the rejected counter (whose
+// value therefore equals the number of 429s the HTTP layer produced).
+// Caller holds closeMu.RLock, so seqCh cannot close under the send.
+func (s *Service) admit(ctx context.Context, msg ingestMsg) error {
 	select {
-	case s.seqCh <- ingestMsg{e: e}:
-		s.m.ingested.Inc()
+	case s.seqCh <- msg:
+		return nil
+	default:
+	}
+	t0 := time.Now()
+	defer s.m.backpressure.Since(t0)
+	timer := time.NewTimer(s.cfg.AdmitWait)
+	defer timer.Stop()
+	select {
+	case s.seqCh <- msg:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	case <-timer.C:
+		s.m.rejected.Inc()
+		return fmt.Errorf("stream: no pipeline slot within %v: %w", s.cfg.AdmitWait, ErrSaturated)
 	}
 }
 
@@ -360,9 +411,9 @@ func (s *Service) Ingest(ctx context.Context, e raslog.Event) error {
 // buffer together, and everything it releases is made durable with a
 // single WAL frame and a single fsync (group commit) before any of it is
 // forwarded downstream. The service takes ownership of the slice; the
-// caller must not reuse it. Returns how many events were accepted —
-// the whole batch, or zero when the service is closed or ctx expires
-// before the pipeline has room.
+// caller must not reuse it. Returns how many events were accepted — the
+// whole batch, or zero when the service is closed, ctx expires, or the
+// pipeline stays saturated past Config.AdmitWait (ErrSaturated).
 func (s *Service) IngestBatch(ctx context.Context, events []raslog.Event) (int, error) {
 	if len(events) == 0 {
 		return 0, nil
@@ -372,13 +423,11 @@ func (s *Service) IngestBatch(ctx context.Context, events []raslog.Event) (int, 
 	if s.closed {
 		return 0, ErrClosed
 	}
-	select {
-	case s.seqCh <- ingestMsg{batch: events}:
-		s.m.ingested.Add(int64(len(events)))
-		return len(events), nil
-	case <-ctx.Done():
-		return 0, ctx.Err()
+	if err := s.admit(ctx, ingestMsg{batch: events}); err != nil {
+		return 0, err
 	}
+	s.m.ingested.Add(int64(len(events)))
+	return len(events), nil
 }
 
 // Close stops intake, drains every stage in order, waits for in-flight
@@ -762,14 +811,16 @@ func (s *Service) process(te preprocess.TaggedEvent) {
 	s.mu.Lock()
 	s.history = append(s.history, te)
 	s.trimHistoryLocked()
+	s.mu.Unlock()
 	if len(warns) > 0 {
 		s.m.warningsTotal.Add(int64(len(warns)))
+		s.warnMu.Lock()
 		s.warnings = append(s.warnings, warns...)
 		if over := len(s.warnings) - s.cfg.WarningsKeep; over > 0 {
 			s.warnings = append(s.warnings[:0], s.warnings[over:]...)
 		}
+		s.warnMu.Unlock()
 	}
-	s.mu.Unlock()
 }
 
 // trimHistoryLocked bounds the history to what future retrainings can
@@ -987,10 +1038,14 @@ func (s *Service) TrainNow() (RetrainRecord, error) {
 // Introspection.
 // ---------------------------------------------------------------------------
 
-// Warnings returns up to n of the most recent warnings, newest last.
+// Warnings returns up to n of the most recent warnings, newest last. The
+// copy is taken under the warnings ring's own short critical section —
+// never under the service mutex — so callers that consume the result
+// slowly (a firehose reader on a congested socket) cannot stall the
+// collector (TestWarningsReaderDoesNotStallPipeline).
 func (s *Service) Warnings(n int) []predictor.Warning {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.warnMu.Lock()
+	defer s.warnMu.Unlock()
 	if n <= 0 || n > len(s.warnings) {
 		n = len(s.warnings)
 	}
@@ -1022,6 +1077,10 @@ type Stats struct {
 	Ingested    int64 `json:"ingested"`
 	Sequenced   int64 `json:"sequenced"`
 	LateDropped int64 `json:"late_dropped"`
+	// Rejected counts ingest calls that timed out against a saturated
+	// pipeline (ErrSaturated — one per HTTP 429 the ingest handlers
+	// returned). The events were never accepted and are not in Ingested.
+	Rejected int64 `json:"ingest_rejected"`
 	// ReorderOverflow counts events released early by the buffer cap while
 	// still inside the reorder tolerance (disjoint from LateDropped: a
 	// forced release increments exactly one of the two).
@@ -1058,6 +1117,7 @@ func (s *Service) Stats() Stats {
 		Ingested:        s.m.ingested.Value(),
 		Sequenced:       s.m.sequenced.Value(),
 		LateDropped:     s.m.lateDropped.Value(),
+		Rejected:        s.m.rejected.Value(),
 		ReorderOverflow: s.m.reorderOverflow.Value(),
 		AfterTemporal:   s.m.afterTemporal.Value(),
 		Processed:       s.m.processed.Value(),

@@ -11,13 +11,27 @@
 # record. Wall-clock speedups depend on the machine: the snapshot records
 # GOMAXPROCS alongside every number.
 #
-# Usage: sh scripts/bench.sh [output.json]
+# A second phase runs the closed-loop capacity sweep: cmd/loadgen
+# replays a bgsim feed at stepped offered rates (plus a 2x overdrive
+# step) against a freshly started cmd/serve and writes the capacity
+# curve — per-step p50/p99 and the highest achieved rate that met the
+# p99 target — to BENCH_8.json. The defaults are a short smoke sweep;
+# raise RATES/STEP_DURATION for steadier numbers.
+#
+# Usage: sh scripts/bench.sh [component.json] [capacity.json]
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_7.json}"
+CAP_OUT="${2:-BENCH_8.json}"
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+BIN="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$TMP" "$BIN"
+}
+trap cleanup EXIT INT TERM
 
 BENCHTIME="${BENCHTIME:-5x}"
 # The retrain pair amortizes one expensive workload generation across
@@ -99,3 +113,34 @@ END {
 ' procs="$(nproc 2>/dev/null || echo 1)" benchtime="$BENCHTIME" "$TMP"
 
 echo "== wrote $OUT"
+
+# --- capacity sweep: closed-loop load harness against a live daemon ------
+RATES="${RATES:-1000,2000,4000,8000}"
+STEP_DURATION="${STEP_DURATION:-2s}"
+PORT="${LOADGEN_PORT:-18911}"
+echo "== capacity sweep (rates $RATES, $STEP_DURATION per step)"
+go build -o "$BIN/serve" ./cmd/serve
+go build -o "$BIN/loadgen" ./cmd/loadgen
+# Training windows sized so the compressed replay actually retrains and
+# emits warnings — the sweep measures warning-emission lag, not just
+# ingest latency.
+"$BIN/serve" -addr "127.0.0.1:$PORT" -train 2 -retrain 1 -admit-wait 500ms \
+    > "$BIN/serve.log" 2>&1 &
+SERVE_PID=$!
+i=0
+until curl -fsS "http://127.0.0.1:$PORT/healthz" > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "bench.sh: daemon never became healthy" >&2
+        cat "$BIN/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+"$BIN/loadgen" -addr "http://127.0.0.1:$PORT" -rates "$RATES" -overdrive \
+    -step-duration "$STEP_DURATION" -batch 256 -weeks 2 -scale 0.02 \
+    -p99-target 50ms -out "$CAP_OUT"
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "== wrote $CAP_OUT"

@@ -14,7 +14,12 @@
 # retrain it runs itself must be a sufficient-statistics delta-apply
 # ("Rebuild": false in the retrain records), never a cold rebuild.
 #
-# A third phase repeats the exercise in fleet mode: two tenants fed
+# A third phase kills -9 in the middle of a cmd/loadgen capacity sweep
+# and checks the recovered event count against the ledger loadgen keeps
+# of what the daemon acknowledged — the crash-safety contract of the
+# load harness itself.
+#
+# A fourth phase repeats the exercise in fleet mode: two tenants fed
 # through one -fleet daemon, killed -9, restarted (both recover from
 # <state>/tenants/<id>/), then shut down gracefully (SIGTERM must close
 # every tenant cleanly and exit 0).
@@ -198,6 +203,51 @@ echo "$REC" | grep -q '"Rebuild": *false' || {
     exit 1
 }
 echo "smoke_restart: incremental OK (post-restart retrain delta-applied)"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+# --- Ledger phase: kill -9 mid-sweep, recovery covers the ledger ---------
+
+echo "smoke_restart: ledger phase — kill -9 mid capacity sweep"
+go build -o "$TMP/loadgen" ./cmd/loadgen
+start_serve -state-dir "$TMP/sweep"
+"$TMP/loadgen" -addr "$ADDR" -rates 500,1000,2000,4000 -step-duration 2s \
+    -batch 128 -weeks 2 -scale 0.02 -out "$TMP/sweep.json" \
+    -ledger "$TMP/ledger.json" > "$TMP/loadgen.log" 2>&1 &
+LG_PID=$!
+i=0
+until [ -f "$TMP/ledger.json" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "smoke_restart: FAIL: loadgen never completed a sweep step" >&2
+        cat "$TMP/loadgen.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+sleep 0.7 # land the kill inside the next step — genuinely mid-sweep
+echo "smoke_restart: kill -9 $SERVE_PID (mid-sweep)"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+kill -9 "$LG_PID" 2>/dev/null || true
+wait "$LG_PID" 2>/dev/null || true
+
+LEDGER_SEQ=$(grep -o '"sequenced": *[0-9]*' "$TMP/ledger.json" | grep -o '[0-9]*$')
+start_serve -state-dir "$TMP/sweep"
+RECOVERED=$(stat_field ingested)
+# The ledger records sequenced counts read back from a drained pipeline
+# between steps. Batches are group-committed (durable at the ack), so
+# everything in the ledger minus the WAL's in-memory tail (FlushEvery =
+# 64 records on the single-event path) must survive the kill.
+FLOOR=$((LEDGER_SEQ - 64))
+if [ "$RECOVERED" -lt "$FLOOR" ]; then
+    echo "smoke_restart: FAIL: recovered $RECOVERED < ledger floor $FLOOR (ledger sequenced $LEDGER_SEQ)" >&2
+    cat "$TMP/loadgen.log" >&2
+    exit 1
+fi
+echo "smoke_restart: ledger OK (recovered $RECOVERED, ledger sequenced $LEDGER_SEQ)"
 kill -9 "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""

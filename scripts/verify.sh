@@ -26,6 +26,14 @@ echo "== incremental-retraining equivalence gate (-race -count=1)"
 # cache. Build with -tags slow for the long campaign.
 go test -race -count=1 ./internal/learner ./internal/learner/incr
 go test -race -count=1 -run 'Incremental' ./internal/engine ./internal/stream
+echo "== overload-path gate (-race -count=1)"
+# The saturation pins re-proven fresh every run: bounded-time 429s with
+# no admitted event dropped or reordered (stream), warnings served off
+# the hot path, the storming tenant held to its slot cap (fleet), and
+# the stalled-header reaper (serve).
+go test -race -count=1 \
+    -run 'Saturation|Warnings(NotUnder|Reader)|StormingTenant|StalledHeader' \
+    ./internal/stream ./internal/fleet ./cmd/serve
 echo "== go test -race -count=1 ./internal/stream ./internal/predictor ./internal/obsv ./internal/persist ./internal/fleet"
 # -count=1 defeats the test cache: the concurrency-critical packages
 # (pipeline, predictor swap, metrics registry, durable state, tenant
