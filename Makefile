@@ -17,8 +17,12 @@ verify:
 # path (single-tenant and fleet-routed), snapshotted to BENCH_7.json,
 # then the closed-loop capacity sweep (cmd/loadgen against a live
 # cmd/serve, stepped offered rates plus a 2x overdrive step) snapshotted
-# to BENCH_8.json. See scripts/bench.sh; BENCHTIME=20x / RATES=... /
-# STEP_DURATION=... for steadier numbers.
+# to BENCH_8.json, then the hot-standby phase (steady-state replication
+# lag under load, kill -9 failover time to first accepted write on the
+# promoted follower, and POST /backfill throughput against the raw
+# disk-read ceiling) snapshotted to BENCH_9.json. See scripts/bench.sh;
+# BENCHTIME=20x / RATES=... / STEP_DURATION=... / STANDBY_RATE=... for
+# steadier numbers.
 bench:
 	sh scripts/bench.sh
 

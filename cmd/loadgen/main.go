@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/httpx"
 	"repro/internal/raslog"
 )
 
@@ -480,7 +481,7 @@ func (r *runner) work(ti int, rate float64, deadline time.Time, res *workerResul
 			time.Sleep(retryAfter(resp))
 		case http.StatusServiceUnavailable:
 			res.unavailable503++
-			time.Sleep(200 * time.Millisecond)
+			time.Sleep(retryAfter(resp))
 		default:
 			res.err = fmt.Errorf("tenant %d: ingest HTTP %d: %s (fleet daemon required for -tenants > 1?)",
 				ti, resp.StatusCode, ir.Error)
@@ -495,11 +496,15 @@ func (r *runner) work(ti int, rate float64, deadline time.Time, res *workerResul
 	}
 }
 
+// retryAfter maps a throttled response's Retry-After hint (delta-seconds
+// or HTTP-date) to a sleep. A floor keeps a zero or missing hint from
+// hot-looping the worker; the cap keeps a bogus hint from stalling it.
 func retryAfter(resp *http.Response) time.Duration {
-	if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
-		return time.Duration(s) * time.Second
+	d := httpx.RetryAfter(resp.Header, 250*time.Millisecond, 5*time.Second)
+	if d < 250*time.Millisecond {
+		d = 250 * time.Millisecond
 	}
-	return 250 * time.Millisecond
+	return d
 }
 
 // settle polls aggregate stats after sending stops until sequencing and

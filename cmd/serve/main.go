@@ -10,6 +10,8 @@
 //	      [-idle-timeout 2m]
 //	      [-fleet] [-default-tenant default] [-max-active 0]
 //	      [-idle-evict 0] [-retrain-workers 0] [-ingest-slots 0]
+//	      [-follow URL] [-follower-id standby] [-follow-poll 250ms]
+//	      [-promote-after 0] [-backfill FILE] [-backfill-workers 0]
 //
 // API:
 //
@@ -42,6 +44,16 @@
 // uncapped) so one storming tenant cannot camp every admission slot.
 // The -read-header-timeout/-read-timeout/-idle-timeout flags bound how
 // long a stalled or idle connection may hold server resources.
+//
+// -follow runs this daemon as a hot standby of another (DESIGN.md §14):
+// it tails the leader's WAL over GET /wal/segments + /wal/segment/{name},
+// replays every record through the live stage logic, and refuses direct
+// ingest (503) until promoted — POST /promote, or automatically once the
+// leader has been unreachable for -promote-after. The leader's pruning
+// retains any segment a registered follower (-follower-id) has not acked.
+// -backfill feeds a historical raw log through the pipeline with bounded
+// memory, parsed in parallel but submitted in order behind live traffic
+// (POST /backfill does the same with the request body).
 //
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ for
 // CPU/heap/goroutine profiling of the live service. It is opt-in: the
@@ -101,6 +113,12 @@ func main() {
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "close connections whose request header stalls this long")
 	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "close connections whose request body stalls this long")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "close keep-alive connections idle this long")
+	follow := flag.String("follow", "", "run as hot standby of this leader URL (requires -state-dir, excludes -fleet)")
+	followerID := flag.String("follower-id", "standby", "stable follower name for the leader's retention guard")
+	followPoll := flag.Duration("follow-poll", 250*time.Millisecond, "standby: leader poll interval")
+	promoteAfter := flag.Duration("promote-after", 0, "standby: auto-promote after the leader is unreachable this long (0 = manual POST /promote only)")
+	backfill := flag.String("backfill", "", "raw text log to backfill through the pipeline behind live traffic")
+	backfillWorkers := flag.Int("backfill-workers", 0, "backfill parser workers (0 = half the CPUs)")
 	flag.Parse()
 
 	opts := serveOpts{
@@ -112,6 +130,8 @@ func main() {
 		admitWait: *admitWait, ingestSlots: *ingestSlots,
 		readHeaderTimeout: *readHeaderTimeout, readTimeout: *readTimeout,
 		idleTimeout: *idleTimeout,
+		follow: *follow, followerID: *followerID, followPoll: *followPoll,
+		promoteAfter: *promoteAfter, backfill: *backfill, backfillWorkers: *backfillWorkers,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
@@ -141,6 +161,13 @@ type serveOpts struct {
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
 	idleTimeout       time.Duration
+
+	follow          string
+	followerID      string
+	followPoll      time.Duration
+	promoteAfter    time.Duration
+	backfill        string
+	backfillWorkers int
 }
 
 func streamConfig(o serveOpts) (stream.Config, error) {
@@ -169,6 +196,35 @@ func streamConfig(o serveOpts) (stream.Config, error) {
 	return cfg, nil
 }
 
+func promoteMode(d time.Duration) string {
+	if d <= 0 {
+		return "manual"
+	}
+	return d.String()
+}
+
+// runBackfill feeds -backfill's raw log through the pipeline behind live
+// traffic, logging the outcome. Errors are operational news, not fatal:
+// the daemon keeps serving either way.
+func runBackfill(svc *stream.Service, path string, workers int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: backfill: %v\n", err)
+		return
+	}
+	defer f.Close()
+	t0 := time.Now()
+	fmt.Fprintf(os.Stderr, "serve: backfill of %s started\n", path)
+	res, err := svc.Backfill(context.Background(), f, workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: backfill: %v (%d lines fed first)\n", err, res.Lines)
+		return
+	}
+	secs := time.Since(t0).Seconds()
+	fmt.Fprintf(os.Stderr, "serve: backfill done — %d lines (%d skipped) in %.1fs (%.0f lines/s)\n",
+		res.Lines, res.Skipped, secs, float64(res.Lines)/secs)
+}
+
 // newServer builds the daemon's http.Server with connection hygiene a
 // long-lived ingest endpoint needs: without these timeouts a client
 // that stalls mid-header (deliberately or not) pins a connection — and
@@ -189,6 +245,16 @@ func run(o serveOpts) error {
 	cfg, err := streamConfig(o)
 	if err != nil {
 		return err
+	}
+	if o.follow != "" {
+		switch {
+		case o.fleetOn:
+			return errors.New("-follow and -fleet are mutually exclusive (a standby replicates one pipeline)")
+		case o.stateDir == "":
+			return errors.New("-follow requires -state-dir (the replica keeps its own WAL)")
+		case o.backfill != "":
+			return errors.New("-follow and -backfill are mutually exclusive (a standby's stream comes from its leader)")
+		}
 	}
 
 	var (
@@ -221,6 +287,7 @@ func run(o serveOpts) error {
 		}
 	} else {
 		cfg.StateDir = o.stateDir
+		cfg.Standby = o.follow != ""
 		svc, err := stream.New(cfg)
 		if err != nil {
 			return err
@@ -230,8 +297,36 @@ func run(o serveOpts) error {
 			fmt.Fprintf(os.Stderr, "serve: recovered from %s — snapshot at seq %d, %d WAL events replayed, resuming at seq %d (%d ms)\n",
 				o.stateDir, rec.SnapshotSeq, rec.Replayed, rec.ResumeSeq, rec.DurationMs)
 		}
+		var follower *stream.Follower
+		if o.follow != "" {
+			follower, err = stream.NewFollower(svc, stream.FollowerConfig{
+				Leader:       o.follow,
+				ID:           o.followerID,
+				Poll:         o.followPoll,
+				PromoteAfter: o.promoteAfter,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "serve: "+format+"\n", args...)
+				},
+			})
+			if err != nil {
+				svc.Close()
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "serve: standby of %s (poll %s, auto-promote %s)\n",
+				o.follow, o.followPoll, promoteMode(o.promoteAfter))
+		}
+		if o.backfill != "" {
+			go runBackfill(svc, o.backfill, o.backfillWorkers)
+		}
 		mux = stream.NewMux(svc)
-		shutdown = svc.Close
+		shutdown = func() error {
+			if follower != nil {
+				// Stop pulling before draining; a standby that is shut down
+				// stays a standby (its durable state resumes the tail later).
+				follower.Stop()
+			}
+			return svc.Close()
+		}
 		drained = func() {
 			st := svc.Stats()
 			fmt.Fprintf(os.Stderr, "serve: drained — %d ingested, %d processed (%.1f%% compression), %d warnings, %d retrains\n",

@@ -31,10 +31,10 @@ import (
 	"log"
 	"net/http"
 	"os"
-	"strconv"
 	"time"
 
 	"repro"
+	"repro/internal/httpx"
 )
 
 func main() {
@@ -209,9 +209,8 @@ func postBatch(addr string, lines []string) (int, error) {
 				failures = 0
 				delay = retryBase
 			}
-			if s, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil &&
-				time.Duration(s)*time.Second > delay {
-				delay = time.Duration(s) * time.Second
+			if hint := httpx.RetryAfter(resp.Header, 0, retryMax); hint > delay {
+				delay = hint
 			}
 			failures++
 			log.Printf("livefeed: daemon busy (HTTP %d: %s), %d lines left (retry %d/%d in %s)",

@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEvictIdleUsesMonotonicClock is the regression test for the idle
+// janitor's clock. lastUse used to hold wall-clock unix milliseconds,
+// compared against time.Now-derived cutoffs: a wall clock that stepped
+// forward mass-evicted tenants used milliseconds ago, and one that
+// stepped backward left stamps in the future that never aged out.
+// Against the fake idle clock below the old stamps sit ~55 years in the
+// future, so both eviction assertions fail pre-fix; with idleness kept
+// in monotonic time they are pure durations.
+func TestEvictIdleUsesMonotonicClock(t *testing.T) {
+	var now atomic.Int64
+	now.Store(1)
+	orig := monoNowMs
+	monoNowMs = func() int64 { return now.Load() }
+	defer func() { monoNowMs = orig }()
+
+	r, err := New(Config{Stream: tenantStreamConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	h, err := r.Acquire("a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+
+	// Five minutes of idleness: under a one-hour policy nothing is
+	// evicted, whatever the wall clock did meanwhile.
+	now.Add((5 * time.Minute).Milliseconds())
+	if n := r.EvictIdle(time.Hour); n != 0 {
+		t.Fatalf("EvictIdle evicted %d tenants after 5m idle (policy 1h)", n)
+	}
+
+	// Two hours in, the tenant is genuinely idle.
+	now.Add((2 * time.Hour).Milliseconds())
+	if n := r.EvictIdle(time.Hour); n != 1 {
+		t.Fatalf("EvictIdle evicted %d tenants after 2h idle (policy 1h), want 1", n)
+	}
+
+	// Reactivation refreshes the stamp from the same clock.
+	h2, err := r.Acquire("a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.Release()
+	if n := r.EvictIdle(time.Hour); n != 0 {
+		t.Fatalf("EvictIdle evicted a tenant acquired just now (%d)", n)
+	}
+
+	// The listing converts the monotonic stamp back to wall time rather
+	// than leaking small since-process-start values into the API.
+	found := false
+	for _, info := range r.List() {
+		if info.ID != "a" {
+			continue
+		}
+		found = true
+		if info.LastUseMs == 0 {
+			t.Fatal("LastUseMs missing for a used tenant")
+		}
+		diff := info.LastUseMs - monoStart.UnixMilli()
+		if diff < 0 || diff > (4*time.Hour).Milliseconds() {
+			t.Fatalf("LastUseMs %d not anchored to the wall clock (monoStart %d)",
+				info.LastUseMs, monoStart.UnixMilli())
+		}
+	}
+	if !found {
+		t.Fatal("tenant a missing from List")
+	}
+}

@@ -45,6 +45,25 @@ var (
 	ErrTenantBusy = errors.New("fleet: tenant has in-flight requests")
 )
 
+// The idle clock. lastUse stores milliseconds of *monotonic* time since
+// monoStart, not wall-clock unix milliseconds: the janitor compares
+// lastUse against "now minus IdleAfter", and a wall clock that steps
+// (NTP correction, VM resume, manual change) would either mass-evict
+// tenants used milliseconds ago (step forward) or park tenants with
+// last-use stamps in the future that never age out (step backward).
+// time.Since reads Go's monotonic reading, which cannot step.
+var monoStart = time.Now()
+
+// monoNowMs is the idle clock, a variable so tests can drive it. Never
+// returns zero — zero lastUse means "never used".
+var monoNowMs = func() int64 {
+	ms := time.Since(monoStart).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
 // Config parameterizes a fleet Registry.
 type Config struct {
 	// Stream is the template configuration every tenant's service is
@@ -118,7 +137,7 @@ type tenant struct {
 
 	active      atomic.Bool
 	activations atomic.Int64
-	lastUse     atomic.Int64 // wall clock, unix ms
+	lastUse     atomic.Int64 // monotonic ms since monoStart (0 = never)
 }
 
 // newTenant mints a registry slot for id. Called with Registry.mu held
@@ -276,7 +295,7 @@ func (r *Registry) Acquire(id string, create bool) (Handle, error) {
 		}
 	}
 	tn.refs++
-	tn.lastUse.Store(time.Now().UnixMilli())
+	tn.lastUse.Store(monoNowMs())
 	return Handle{tn: tn, svc: tn.svc, mux: tn.mux}, nil
 }
 
@@ -345,7 +364,7 @@ func (r *Registry) Evict(id string) error {
 // olderThan, skipping busy ones (TryLock — the sweep never blocks a
 // request). Returns how many tenants it evicted.
 func (r *Registry) EvictIdle(olderThan time.Duration) int {
-	cutoff := time.Now().Add(-olderThan).UnixMilli()
+	cutoff := monoNowMs() - olderThan.Milliseconds()
 	n := 0
 	for _, tn := range r.snapshot() {
 		if !tn.active.Load() || tn.lastUse.Load() > cutoff {
@@ -497,7 +516,10 @@ func (r *Registry) List() []TenantInfo {
 		info := TenantInfo{
 			ID:          tn.id,
 			Activations: tn.activations.Load(),
-			LastUseMs:   tn.lastUse.Load(),
+		}
+		// lastUse is monotonic; convert back to wall clock for the API.
+		if ms := tn.lastUse.Load(); ms != 0 {
+			info.LastUseMs = monoStart.Add(time.Duration(ms) * time.Millisecond).UnixMilli()
 		}
 		tn.mu.Lock()
 		if tn.svc != nil {

@@ -1,0 +1,66 @@
+package httpx
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func hdr(v string) http.Header {
+	h := http.Header{}
+	if v != "" {
+		h.Set("Retry-After", v)
+	}
+	return h
+}
+
+func TestRetryAfterDeltaSeconds(t *testing.T) {
+	const (
+		fallback = 250 * time.Millisecond
+		max      = 5 * time.Second
+	)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+	}{
+		{"missing", "", fallback},
+		{"zero means now", "0", 0},
+		{"plain seconds", "2", 2 * time.Second},
+		{"clamped to max", "3600", max},
+		{"negative is invalid", "-3", fallback},
+		{"garbage is invalid", "soon", fallback},
+		{"float is invalid", "1.5", fallback},
+	}
+	for _, tc := range cases {
+		if got := RetryAfter(hdr(tc.v), fallback, max); got != tc.want {
+			t.Errorf("%s: RetryAfter(%q) = %v, want %v", tc.name, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestRetryAfterHTTPDate(t *testing.T) {
+	const (
+		fallback = 250 * time.Millisecond
+		max      = 5 * time.Second
+	)
+	future := time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)
+	got := RetryAfter(hdr(future), fallback, max)
+	if got <= 0 || got > 2*time.Second {
+		t.Errorf("future date: got %v, want ~2s in (0, 2s]", got)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if got := RetryAfter(hdr(past), fallback, max); got != 0 {
+		t.Errorf("past date: got %v, want 0 (retry now)", got)
+	}
+	far := time.Now().Add(time.Hour).UTC().Format(http.TimeFormat)
+	if got := RetryAfter(hdr(far), fallback, max); got != max {
+		t.Errorf("far-future date: got %v, want clamp to %v", got, max)
+	}
+}
+
+func TestRetryAfterNoMaxMeansUnclamped(t *testing.T) {
+	if got := RetryAfter(hdr("3600"), 0, 0); got != time.Hour {
+		t.Errorf("max=0: got %v, want 1h (unclamped)", got)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/raslog"
 )
@@ -51,6 +52,10 @@ type Options struct {
 	// newest plus fallbacks in case the newest is unreadable. Zero
 	// means 2.
 	KeepSnapshots int
+	// FollowerTTL bounds how long a registered follower's ack keeps WAL
+	// segments from being pruned without a refresh (RetainFollower).
+	// Zero means 10 minutes.
+	FollowerTTL time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +94,13 @@ type Store struct {
 	appending bool
 	scratch   []byte // frame encoding buffer, reused across Appends
 	payload   []byte // event encoding buffer, reused across Appends
+
+	// Retention guard (segments.go): registered follower acks plus pins
+	// held by in-flight segment reads; pruneLocked keeps every segment
+	// holding records at or above the guard's floor.
+	followers map[string]followerAck
+	pins      map[int]uint64
+	pinID     int
 }
 
 // Open creates dir if needed and returns a store over it. Existing state

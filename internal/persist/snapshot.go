@@ -221,10 +221,13 @@ func writeFileSync(path string, b []byte) error {
 }
 
 // pruneLocked removes snapshots beyond the retention count and WAL
-// segments every record of which predates the snapshot at snapSeq. A
-// segment's records end where the next segment's begin, so segment i is
-// removable exactly when segment i+1 starts at or below snapSeq; the
-// newest segment (possibly open for appending) is never removed.
+// segments every record of which predates the retention floor: the
+// snapshot at snapSeq, lowered by any registered follower's ack and any
+// in-flight segment read (segments.go). A segment's records end where
+// the next segment's begin, so segment i is removable exactly when
+// segment i+1 starts at or below the floor; the newest segment (possibly
+// open for appending) is never removed. A slow follower therefore grows
+// retention instead of tearing a hole in the chain it still has to pull.
 func (st *Store) pruneLocked(snapSeq uint64) error {
 	snaps, err := st.listRefs(snapPrefix)
 	if err != nil {
@@ -235,12 +238,13 @@ func (st *Store) pruneLocked(snapSeq uint64) error {
 			return err
 		}
 	}
+	floor := st.retainFloorLocked(snapSeq)
 	segs, err := st.listRefs(walPrefix)
 	if err != nil {
 		return err
 	}
 	for i := 0; i+1 < len(segs); i++ {
-		if segs[i+1].seq > snapSeq {
+		if segs[i+1].seq > floor {
 			break
 		}
 		if err := os.Remove(filepath.Join(st.dir, segs[i].name)); err != nil {

@@ -1,0 +1,241 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/raslog"
+)
+
+// parseLog round-trips raw text-codec bytes back into events — the text
+// codec stores whole seconds, so the reference for a backfill must be
+// built from the parsed lines, not the generator's millisecond events.
+func parseLog(t *testing.T, data []byte) *raslog.Log {
+	t.Helper()
+	sc := raslog.NewScanner(bytes.NewReader(data))
+	var evs []raslog.Event
+	for sc.Scan() {
+		evs = append(evs, sc.Event())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return &raslog.Log{Name: "backfill", Events: evs}
+}
+
+// TestBackfillMatchesDirectIngest is the backfill acceptance test: a
+// raw text log fed through Backfill (parallel parse, ordered submit,
+// many chunk seams) must leave the service in exactly the state direct
+// in-order ingest of the same events leaves it.
+func TestBackfillMatchesDirectIngest(t *testing.T) {
+	old := backfillChunkBytes
+	backfillChunkBytes = 8 << 10
+	defer func() { backfillChunkBytes = old }()
+
+	l := genLog(t, 31, 8)
+	var buf bytes.Buffer
+	if _, err := raslog.WriteLog(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 4*backfillChunkBytes {
+		t.Fatalf("log text is %d bytes — too small to exercise chunk seams", buf.Len())
+	}
+	ref := referenceRun(t, parseLog(t, buf.Bytes()))
+	if len(ref.Rules()) == 0 || len(ref.Warnings(0)) == 0 {
+		t.Fatalf("reference run is trivial: %d rules, %d warnings",
+			len(ref.Rules()), len(ref.Warnings(0)))
+	}
+
+	s, err := New(durableConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Backfill(context.Background(), &buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lines != int64(len(l.Events)) {
+		t.Fatalf("backfill fed %d lines, want %d", res.Lines, len(l.Events))
+	}
+	if res.Skipped != 0 {
+		t.Fatalf("backfill skipped %d lines of a clean log", res.Skipped)
+	}
+	if st := s.Stats(); st.Backfill == nil || st.Backfill.Lines != res.Lines {
+		t.Fatalf("Stats.Backfill = %+v, want %d lines", st.Backfill, res.Lines)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	compareServices(t, s, ref)
+}
+
+// TestBackfillSkipsGarbage: mangled lines are counted and skipped, never
+// fatal, and the surviving events still replay exactly.
+func TestBackfillSkipsGarbage(t *testing.T) {
+	l := genLog(t, 37, 4)
+	var clean bytes.Buffer
+	if _, err := raslog.WriteLog(&clean, l); err != nil {
+		t.Fatal(err)
+	}
+	ref := referenceRun(t, parseLog(t, clean.Bytes()))
+
+	var dirty bytes.Buffer
+	garbage := 0
+	sc := bufio.NewScanner(bytes.NewReader(clean.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for i := 0; sc.Scan(); i++ {
+		if i%50 == 0 {
+			fmt.Fprintf(&dirty, "### corrupted line %d ###\n", i)
+			garbage++
+		}
+		dirty.Write(sc.Bytes())
+		dirty.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(durableConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Backfill(context.Background(), &dirty, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != int64(garbage) {
+		t.Fatalf("skipped %d lines, want %d", res.Skipped, garbage)
+	}
+	if res.Lines != int64(len(l.Events)) {
+		t.Fatalf("fed %d lines, want %d", res.Lines, len(l.Events))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	compareServices(t, s, ref)
+}
+
+// gateReader blocks Read until released, then reports EOF — it holds a
+// backfill open for exactly as long as the test needs.
+type gateReader struct{ release chan struct{} }
+
+func (g *gateReader) Read(p []byte) (int, error) {
+	<-g.release
+	return 0, io.EOF
+}
+
+// TestBackfillSingleton: one backfill at a time; a second concurrent
+// call gets ErrBackfillBusy, and the slot frees once the first ends.
+func TestBackfillSingleton(t *testing.T) {
+	s, err := New(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &gateReader{release: make(chan struct{})}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.Backfill(context.Background(), g, 1)
+		errCh <- err
+	}()
+	waitFor(t, 10*time.Second, func() bool { return s.backfill.active.Load() })
+	if _, err := s.Backfill(context.Background(), strings.NewReader(""), 1); !errors.Is(err, ErrBackfillBusy) {
+		t.Fatalf("concurrent Backfill: %v, want ErrBackfillBusy", err)
+	}
+	close(g.release)
+	if err := <-errCh; err != nil {
+		t.Fatalf("first backfill: %v", err)
+	}
+	if _, err := s.Backfill(context.Background(), strings.NewReader(""), 1); err != nil {
+		t.Fatalf("backfill after slot freed: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackfillCancel: a canceled context stops the run promptly with
+// ctx.Err, not a hang.
+func TestBackfillCancel(t *testing.T) {
+	s, err := New(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	g := &gateReader{release: make(chan struct{})}
+	defer close(g.release)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.Backfill(ctx, g, 1)
+		errCh <- err
+	}()
+	waitFor(t, 10*time.Second, func() bool { return s.backfill.active.Load() })
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled backfill: %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("backfill did not stop after cancel")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackfillOnStandbyRefused: a replica's stream comes from its
+// leader alone.
+func TestBackfillOnStandbyRefused(t *testing.T) {
+	s := newStandby(t, t.TempDir())
+	if _, err := s.Backfill(context.Background(), strings.NewReader(""), 1); !errors.Is(err, ErrStandby) {
+		t.Fatalf("standby Backfill: %v, want ErrStandby", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackfillHTTP drives POST /backfill end to end, including the busy
+// conflict.
+func TestBackfillHTTP(t *testing.T) {
+	l := genLog(t, 41, 4)
+	s, err := New(durableConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(NewMux(s))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	if _, err := raslog.WriteLog(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/backfill?workers=2", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /backfill: HTTP %d: %s", resp.StatusCode, b)
+	}
+	var res BackfillResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Lines != int64(len(l.Events)) || res.Skipped != 0 {
+		t.Fatalf("POST /backfill fed %d lines (skipped %d), want %d (0)",
+			res.Lines, res.Skipped, len(l.Events))
+	}
+}

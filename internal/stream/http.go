@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/persist"
 	"repro/internal/raslog"
 )
 
@@ -23,6 +25,14 @@ import (
 //	GET  /metrics   the same counters in Prometheus text exposition
 //	GET  /healthz   liveness
 //	POST /retrain   force a synchronous training pass
+//
+// Replication and backfill (DESIGN.md §14; no-ops without a StateDir):
+//
+//	GET  /wal/segments        WAL chain + next seq (?follower=&acked=
+//	                          registers a follower's retention ack)
+//	GET  /wal/segment/{name}  one segment's frames from ?from=seq on
+//	POST /promote             standby → leader (idempotent)
+//	POST /backfill            body = raw text log, fed behind live traffic
 func NewMux(s *Service) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", s.handleIngest)
@@ -32,6 +42,10 @@ func NewMux(s *Service) *http.ServeMux {
 	mux.Handle("GET /metrics", s.Metrics().Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /retrain", s.handleRetrain)
+	mux.HandleFunc("GET /wal/segments", s.handleWALSegments)
+	mux.HandleFunc("GET /wal/segment/{name}", s.handleWALSegment)
+	mux.HandleFunc("POST /promote", s.handlePromote)
+	mux.HandleFunc("POST /backfill", s.handleBackfill)
 	return mux
 }
 
@@ -84,6 +98,12 @@ func ingestStatus(w http.ResponseWriter, err error) int {
 	case errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", "1")
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrStandby):
+		// A standby refuses ingest until promoted; the resume contract is
+		// the 503 one — back off and retry, and once the replica takes
+		// over the retry lands.
+		w.Header().Set("Retry-After", "1")
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrClosed), errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
@@ -197,6 +217,124 @@ func (s *Service) handleRetrain(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
+}
+
+// maxSegmentPull caps one GET /wal/segment response. The body is staged
+// in memory so the next-seq header can precede it; followers loop until
+// caught up, so the cap bounds the leader's per-request memory, not the
+// transfer.
+const maxSegmentPull = 4 << 20
+
+// handleWALSegments serves the replication listing: the WAL chain, the
+// durable next sequence, and the leader's stream clock. A follower
+// identifies itself with ?follower=<id>&acked=<seq>; the ack registers
+// in the retention guard so pruning keeps everything the follower still
+// needs (see persist.RetainFollower).
+func (s *Service) handleWALSegments(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.Error(w, "no durable state (start with -state-dir)", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	if id := q.Get("follower"); id != "" {
+		acked, err := strconv.ParseUint(q.Get("acked"), 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad acked=%q", q.Get("acked")), http.StatusBadRequest)
+			return
+		}
+		s.store.RetainFollower(id, acked)
+	}
+	segs, next, err := s.store.Segments()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	role := "leader"
+	if s.standby.Load() {
+		role = "standby"
+	}
+	writeJSON(w, http.StatusOK, segmentsResponse{
+		Role:        role,
+		NextSeq:     next,
+		WatermarkMs: s.watermarkMs(),
+		Segments:    segs,
+	})
+}
+
+// handleWALSegment streams one segment's records from ?from=<seq> on, in
+// the WAL's own frame format (persist.CopySegment). The body is bounded
+// by maxSegmentPull; X-Wal-Next-Seq names the sequence after the last
+// record shipped, so a follower can tell progress without decoding.
+func (s *Service) handleWALSegment(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.Error(w, "no durable state (start with -state-dir)", http.StatusNotFound)
+		return
+	}
+	name := r.PathValue("name")
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad from=%q", r.URL.Query().Get("from")), http.StatusBadRequest)
+		return
+	}
+	var buf bytes.Buffer
+	_, next, err := s.store.CopySegment(&buf, name, from, maxSegmentPull)
+	switch {
+	case errors.Is(err, persist.ErrNoSegment):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Wal-Next-Seq", strconv.FormatUint(next, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handlePromote turns a standby into the leader. Idempotent: promoting a
+// service that is already the leader reports its role with a 200.
+func (s *Service) handlePromote(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Promote(); err != nil {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	role := "leader"
+	if s.standby.Load() {
+		role = "standby"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"role": role})
+}
+
+// handleBackfill ingests the request body as a raw text log via the
+// bounded-memory parallel backfill path, behind live traffic. The call
+// is synchronous: the response reports lines fed and skipped once the
+// whole body is in the pipeline. ?workers=N overrides the parser pool.
+func (s *Service) handleBackfill(w http.ResponseWriter, r *http.Request) {
+	workers := 0
+	if v := r.URL.Query().Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad workers=%q", v), http.StatusBadRequest)
+			return
+		}
+		workers = n
+	}
+	res, err := s.Backfill(r.Context(), r.Body, workers)
+	switch {
+	case errors.Is(err, ErrBackfillBusy):
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	case errors.Is(err, ErrStandby):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": err.Error(), "lines": res.Lines, "skipped": res.Skipped,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -48,6 +48,14 @@ type metrics struct {
 	watermark    *obsv.Gauge
 	nextRetrain  *obsv.Gauge
 
+	// Replication + backfill instruments (DESIGN.md §14). The lag gauges
+	// stay zero on a leader; the counters stay zero unless the feature ran.
+	standbyLagSeq     *obsv.Gauge   // leader next_seq - replica next seq
+	standbyLagSeconds *obsv.Gauge   // leader watermark - replica watermark
+	promotions        *obsv.Counter // standby -> leader transitions
+	backfillLines     *obsv.Counter // historical log lines fed by backfill
+	backfillSkipped   *obsv.Counter // backfill lines that failed to parse
+
 	// Per-stage latency: one observation per event per stage, including
 	// any time blocked on the downstream channel (that is what makes
 	// backpressure visible).
@@ -129,6 +137,17 @@ func newMetrics(s *Service) *metrics {
 		"Wall time of the last startup recovery (snapshot load + WAL replay).")
 	m.snapshotLatency = reg.Histogram("stream_snapshot_latency_seconds",
 		"Wall time per durable snapshot write.", stageBuckets)
+
+	m.standbyLagSeq = reg.Gauge("standby_lag_seq",
+		"Sequence distance behind the leader (leader next_seq - replica next seq); 0 on a leader.")
+	m.standbyLagSeconds = reg.Gauge("standby_lag_seconds",
+		"Stream-time distance behind the leader's watermark in seconds; 0 on a leader.")
+	m.promotions = reg.Counter("standby_promotions_total",
+		"Standby-to-leader promotions performed by this process.")
+	m.backfillLines = reg.Counter("backfill_lines_total",
+		"Historical raw-log lines parsed and fed to the pipeline by backfill.")
+	m.backfillSkipped = reg.Counter("backfill_skipped_total",
+		"Backfill lines skipped because they failed to parse.")
 
 	reg.GaugeFunc("stream_retraining",
 		"1 while a background training pass is in flight.", func() float64 {

@@ -61,6 +61,14 @@ var ErrClosed = errors.New("stream: service closed")
 // Retry-After header. Errors arrive wrapped — test with errors.Is.
 var ErrSaturated = errors.New("stream: pipeline saturated")
 
+// ErrStandby is returned by Ingest/IngestBatch/TrainNow on a standby
+// service (Config.Standby): a follower takes its events from the leader's
+// WAL, never from clients — accepting direct ingest would fork the
+// replicated stream. The HTTP layer maps it to 503 (the same resume
+// contract as a restarting daemon: clients back off and retry, and after
+// promotion the retry lands). Errors arrive wrapped — test with errors.Is.
+var ErrStandby = errors.New("stream: standby replica (not accepting ingest; promote first)")
+
 // Config parameterizes a Service. Durations are measured in *stream time*
 // (event timestamps), so replayed or time-compressed feeds retrain on
 // their own timeline, exactly like the offline engine.
@@ -121,6 +129,15 @@ type Config struct {
 	// replayed through the pipeline before intake starts; empty disables
 	// persistence entirely.
 	StateDir string
+	// Standby starts the service as a hot-standby replica (DESIGN.md §14):
+	// recovery runs as usual, but the pipeline goroutines do not start and
+	// Ingest/IngestBatch refuse with ErrStandby. Events arrive instead via
+	// a Follower tailing a leader's WAL segments, replayed serially through
+	// the recovery path, so the replica's state tracks the leader's exactly.
+	// Promote() ends standby: it seeds the sequencer at the replicated
+	// position and starts the live pipeline. Requires StateDir (the replica
+	// keeps its own durable WAL so a promoted leader can itself recover).
+	Standby bool
 	// WALFlushEvery pushes the WAL write buffer to the OS every this many
 	// records (persist.Options.FlushEvery). Zero means 64; 1 makes every
 	// sequenced event durable against process death at an obvious
@@ -271,9 +288,25 @@ type Service struct {
 	recovery    RecoveryInfo
 	finalSnap   sync.Once
 
-	closeMu sync.RWMutex
-	closed  bool
-	done    chan struct{} // collector finished
+	closeMu    sync.RWMutex
+	closed     bool
+	pipelineOn bool          // goroutines running (false while standby)
+	done       chan struct{} // collector finished
+
+	// standby mirrors Config.Standby until promotion flips it; transitions
+	// happen under closeMu.Lock (promote) so intake checks under RLock are
+	// exact, and reads elsewhere (Stats) take the atomic view. promoteHook
+	// lets a Follower interpose its orderly shutdown in front of the state
+	// flip when POST /promote arrives through the service mux.
+	standby     atomic.Bool
+	promoteHook atomic.Pointer[func() error]
+	// replNext / leaderSeq are the follower loop's published positions
+	// (s.next itself is goroutine-private), read racily by Stats.
+	replNext  uint64
+	leaderSeq uint64
+	// backfill is the bounded-memory historical intake (backfill.go); at
+	// most one runs at a time.
+	backfill backfillState
 
 	retraining atomic.Bool
 	retrainWG  sync.WaitGroup
@@ -305,11 +338,16 @@ func (s *Service) watermarkMs() int64   { return int64(s.m.watermark.Value()) }
 func (s *Service) nextRetrainMs() int64 { return int64(s.m.nextRetrain.Value()) }
 
 // New validates cfg, starts the pipeline goroutines, and returns the
-// running service.
+// running service. With Config.Standby the goroutines are deferred until
+// Promote: the service recovers its durable state and then waits to be
+// fed by a Follower.
 func New(cfg Config) (*Service, error) {
 	full, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
+	}
+	if full.Standby && full.StateDir == "" {
+		return nil, errors.New("stream: Standby requires StateDir")
 	}
 	s := &Service{
 		cfg:       full,
@@ -347,6 +385,26 @@ func New(cfg Config) (*Service, error) {
 		}
 	}
 
+	if full.Standby {
+		// A standby stays in the recovery posture: replaying remains set so
+		// replicated retrains run inline at deterministic stream positions
+		// (exactly like WAL replay), and no pipeline goroutine exists until
+		// promotion. The Follower feeds applyReplicated serially.
+		s.standby.Store(true)
+		s.replaying = true
+		return s, nil
+	}
+	s.closeMu.Lock()
+	s.startPipelineLocked()
+	s.closeMu.Unlock()
+	return s, nil
+}
+
+// startPipelineLocked launches the sequencer, shard, and collector
+// goroutines. Caller holds closeMu.Lock; the sequencer reads seqStart and
+// seqTimeSeed, so both must be final before the call.
+func (s *Service) startPipelineLocked() {
+	s.pipelineOn = true
 	go s.sequencer()
 	var shardWG sync.WaitGroup
 	for i := range s.shardChs {
@@ -358,7 +416,6 @@ func New(cfg Config) (*Service, error) {
 		close(s.collectCh)
 	}()
 	go s.collector()
-	return s, nil
 }
 
 // Ingest feeds one raw event. It blocks while the pipeline is saturated
@@ -371,6 +428,9 @@ func (s *Service) Ingest(ctx context.Context, e raslog.Event) error {
 	defer s.closeMu.RUnlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if s.standby.Load() {
+		return ErrStandby
 	}
 	if err := s.admit(ctx, ingestMsg{e: e}); err != nil {
 		return err
@@ -423,6 +483,9 @@ func (s *Service) IngestBatch(ctx context.Context, events []raslog.Event) (int, 
 	if s.closed {
 		return 0, ErrClosed
 	}
+	if s.standby.Load() {
+		return 0, ErrStandby
+	}
 	if err := s.admit(ctx, ingestMsg{batch: events}); err != nil {
 		return 0, err
 	}
@@ -435,12 +498,15 @@ func (s *Service) IngestBatch(ctx context.Context, events []raslog.Event) (int, 
 func (s *Service) Close() error {
 	s.closeMu.Lock()
 	already := s.closed
+	pipelineOn := s.pipelineOn
 	if !already {
 		s.closed = true
 		close(s.seqCh)
 	}
 	s.closeMu.Unlock()
-	<-s.done
+	if pipelineOn {
+		<-s.done
+	}
 	s.retrainWG.Wait()
 	var err error
 	if s.store != nil {
@@ -998,6 +1064,9 @@ var ErrNoEvents = errors.New("stream: no events observed yet; nothing to train o
 // training happens one full cadence later instead of re-firing on
 // near-identical data.
 func (s *Service) TrainNow() (RetrainRecord, error) {
+	if s.standby.Load() {
+		return RetrainRecord{}, ErrStandby
+	}
 	if s.streamStartMs() < 0 {
 		return RetrainRecord{}, ErrNoEvents
 	}
@@ -1105,6 +1174,26 @@ type Stats struct {
 	// Recovery describes the startup recovery pass; nil when the service
 	// started without a StateDir or with an empty one.
 	Recovery *RecoveryInfo `json:"recovery,omitempty"`
+	// Role is "leader" for a live pipeline, "standby" for a replica
+	// awaiting promotion. Standby holds the replica's replication state
+	// while in standby; Backfill reports historical intake (both nil when
+	// idle/irrelevant).
+	Role     string        `json:"role"`
+	Standby  *StandbyInfo  `json:"standby,omitempty"`
+	Backfill *BackfillInfo `json:"backfill,omitempty"`
+}
+
+// StandbyInfo is a standby replica's replication position (Stats.Standby).
+type StandbyInfo struct {
+	// NextSeq is the next sequence the replica will apply; LeaderSeq the
+	// leader's next append sequence at the last poll. LagSeq is their
+	// difference, LagSeconds the stream-time distance between watermarks.
+	NextSeq    uint64  `json:"next_seq"`
+	LeaderSeq  uint64  `json:"leader_seq"`
+	LagSeq     uint64  `json:"lag_seq"`
+	LagSeconds float64 `json:"lag_seconds"`
+	// Promotions counts standby→leader transitions (0 or 1 per process).
+	Promotions int64 `json:"promotions"`
 }
 
 // Stats snapshots the service's instruments — the same registry GET
@@ -1147,6 +1236,24 @@ func (s *Service) Stats() Stats {
 	if s.store != nil {
 		r := s.recovery
 		st.Recovery = &r
+	}
+	st.Role = "leader"
+	if s.standby.Load() {
+		st.Role = "standby"
+	}
+	// A promoted replica keeps reporting its standby block so the
+	// promotion count survives the role flip.
+	if st.Role == "standby" || s.m.promotions.Value() > 0 {
+		st.Standby = &StandbyInfo{
+			NextSeq:    atomic.LoadUint64(&s.replNext),
+			LeaderSeq:  atomic.LoadUint64(&s.leaderSeq),
+			LagSeq:     uint64(s.m.standbyLagSeq.Value()),
+			LagSeconds: s.m.standbyLagSeconds.Value(),
+			Promotions: s.m.promotions.Value(),
+		}
+	}
+	if b := s.backfillInfo(); b != nil {
+		st.Backfill = b
 	}
 	return st
 }

@@ -18,17 +18,28 @@
 # p99 target — to BENCH_8.json. The defaults are a short smoke sweep;
 # raise RATES/STEP_DURATION for steadier numbers.
 #
-# Usage: sh scripts/bench.sh [component.json] [capacity.json]
+# A third phase measures the hot-standby story (BENCH_9.json): a
+# follower tails a loaded leader while the standby lag gauge is sampled
+# (steady-state replication lag), the leader is killed -9 and the
+# follower promoted with the clock running (failover_seconds = kill to
+# first accepted write on the promoted daemon), and a raw bgsim log is
+# backfilled through POST /backfill (parallel-parse lines/s, against the
+# raw disk read rate of the same file as the ceiling).
+#
+# Usage: sh scripts/bench.sh [component.json] [capacity.json] [standby.json]
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_7.json}"
 CAP_OUT="${2:-BENCH_8.json}"
+STANDBY_OUT="${3:-BENCH_9.json}"
 TMP="$(mktemp)"
 BIN="$(mktemp -d)"
 SERVE_PID=""
+FOLLOW_PID=""
 cleanup() {
     [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+    [ -n "$FOLLOW_PID" ] && kill -9 "$FOLLOW_PID" 2>/dev/null || true
     rm -rf "$TMP" "$BIN"
 }
 trap cleanup EXIT INT TERM
@@ -144,3 +155,114 @@ kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 echo "== wrote $CAP_OUT"
+
+# --- standby: replication lag, failover time, backfill throughput --------
+FPORT=$((PORT + 1))
+FADDR="http://127.0.0.1:$FPORT"
+LADDR="http://127.0.0.1:$PORT"
+STANDBY_RATE="${STANDBY_RATE:-2000}"
+echo "== standby bench (leader + follower at $STANDBY_RATE ev/s, then failover + backfill)"
+go build -o "$BIN/bgsim-gen" ./cmd/bgsim-gen
+
+wait_healthy() { # wait_healthy BASE LOG
+    i=0
+    until curl -fsS "$1/healthz" > /dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "bench.sh: daemon at $1 never became healthy" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+"$BIN/serve" -addr "127.0.0.1:$PORT" -train 2 -retrain 1 -admit-wait 500ms \
+    -state-dir "$BIN/leader" > "$BIN/leader.log" 2>&1 &
+SERVE_PID=$!
+wait_healthy "$LADDR" "$BIN/leader.log"
+"$BIN/serve" -addr "127.0.0.1:$FPORT" -train 2 -retrain 1 \
+    -state-dir "$BIN/standby" -follow "$LADDR" -follow-poll 25ms \
+    > "$BIN/follower.log" 2>&1 &
+FOLLOW_PID=$!
+wait_healthy "$FADDR" "$BIN/follower.log"
+
+# Drive the leader at one steady rate while sampling the follower's lag
+# gauge — the steady-state replication lag under load.
+"$BIN/loadgen" -addr "$LADDR" -rates "$STANDBY_RATE" -step-duration 6s \
+    -batch 256 -weeks 2 -scale 0.02 -out "$BIN/standby-sweep.json" \
+    > "$BIN/standby-loadgen.log" 2>&1 &
+LG_PID=$!
+: > "$BIN/lag.samples"
+i=0
+while kill -0 "$LG_PID" 2>/dev/null && [ "$i" -lt 40 ]; do
+    curl -fsS "$FADDR/metrics" 2>/dev/null |
+        awk '$1 == "standby_lag_seq" {print $2}' >> "$BIN/lag.samples" || true
+    i=$((i + 1))
+    sleep 0.25
+done
+wait "$LG_PID" 2>/dev/null || true
+LAG_MAX=$(awk 'BEGIN{m=0} {if ($1+0 > m) m = $1+0} END{printf "%d", m}' "$BIN/lag.samples")
+LAG_MEAN=$(awk '{s += $1; n++} END{printf "%.1f", n ? s/n : 0}' "$BIN/lag.samples")
+
+# Failover with the clock running: kill -9 the leader, promote the
+# follower, and stop the watch at the first accepted write.
+# Full-scale weeks: the backfill corpus has to be big enough that its
+# wall time clears millisecond resolution, or lines/s reads as zero.
+"$BIN/bgsim-gen" -system sdsc -seed 9 -weeks 8 -scale 1 -o "$BIN/backfill.log"
+head -n 100 "$BIN/backfill.log" > "$BIN/nudge.log"
+T0=$(date +%s%N)
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+curl -fsS -X POST "$FADDR/promote" > /dev/null
+i=0
+until curl -fsS -X POST --data-binary "@$BIN/nudge.log" "$FADDR/ingest/batch" > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 200 ]; then
+        echo "bench.sh: promoted follower never accepted writes" >&2
+        cat "$BIN/follower.log" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+T1=$(date +%s%N)
+FAILOVER_S=$(awk "BEGIN{printf \"%.3f\", ($T1 - $T0) / 1e9}")
+kill -9 "$FOLLOW_PID" 2>/dev/null || true
+wait "$FOLLOW_PID" 2>/dev/null || true
+FOLLOW_PID=""
+
+# Backfill throughput: a raw historical log through POST /backfill on a
+# fresh daemon, against the raw disk read rate of the same file.
+BF_LINES=$(wc -l < "$BIN/backfill.log")
+cat "$BIN/backfill.log" > /dev/null # warm the page cache for both reads
+R0=$(date +%s%N)
+cat "$BIN/backfill.log" > /dev/null
+R1=$(date +%s%N)
+RAW_LPS=$(awk "BEGIN{d = ($R1 - $R0) / 1e9; printf \"%d\", (d > 0 ? $BF_LINES / d : 0)}")
+"$BIN/serve" -addr "127.0.0.1:$PORT" -train 2 -retrain 1 \
+    > "$BIN/backfill-serve.log" 2>&1 &
+SERVE_PID=$!
+wait_healthy "$LADDR" "$BIN/backfill-serve.log"
+BF_JSON=$(curl -fsS -X POST --data-binary "@$BIN/backfill.log" "$LADDR/backfill")
+BF_FED=$(echo "$BF_JSON" | grep -o '"lines": *[0-9]*' | grep -o '[0-9]*$')
+BF_MS=$(echo "$BF_JSON" | grep -o '"duration_ms": *[0-9]*' | grep -o '[0-9]*$')
+BF_LPS=$(awk "BEGIN{printf \"%d\", ($BF_MS > 0 ? $BF_FED * 1000 / $BF_MS : 0)}")
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+cat > "$STANDBY_OUT" <<EOF
+{
+  "failover_seconds": $FAILOVER_S,
+  "standby_lag_seq_mean": $LAG_MEAN,
+  "standby_lag_seq_max": $LAG_MAX,
+  "standby_offered_rate": $STANDBY_RATE,
+  "backfill_lines": $BF_FED,
+  "backfill_lines_per_sec": $BF_LPS,
+  "raw_read_lines_per_sec": $RAW_LPS,
+  "gomaxprocs": $(nproc 2>/dev/null || echo 1),
+  "note": "failover_seconds is kill -9 of the leader to the first accepted write on the promoted follower (manual POST /promote, 25ms pull interval). Lag is the follower's standby_lag_seq gauge sampled every 250ms during a $STANDBY_RATE ev/s closed-loop feed. Backfill is POST /backfill of a raw bgsim log on a fresh daemon (parallel parse, ordered submit); raw_read is cat-to-devnull of the same warmed file — the disk-read ceiling, not a comparable service."
+}
+EOF
+echo "== wrote $STANDBY_OUT"

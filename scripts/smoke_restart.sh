@@ -23,16 +23,28 @@
 # through one -fleet daemon, killed -9, restarted (both recover from
 # <state>/tenants/<id>/), then shut down gracefully (SIGTERM must close
 # every tenant cleanly and exit 0).
+#
+# A fifth phase proves hot-standby failover: a follower daemon tails the
+# leader's WAL over HTTP while a cmd/loadgen sweep drives the leader,
+# the leader is killed -9 mid-sweep, the follower is promoted (POST
+# /promote), and the promoted daemon's recovered event count is checked
+# against the ledger loadgen keeps of what the leader acknowledged —
+# then the promoted daemon takes fresh writes, proving the failover
+# actually moved the write path.
 set -eu
 cd "$(dirname "$0")/.."
 
 PORT=18473
+FPORT=18474
 ADDR="http://127.0.0.1:$PORT"
+FADDR="http://127.0.0.1:$FPORT"
 TMP="$(mktemp -d)"
 SERVE_PID=""
+FOLLOW_PID=""
 
 cleanup() {
     [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+    [ -n "$FOLLOW_PID" ] && kill -9 "$FOLLOW_PID" 2>/dev/null || true
     rm -rf "$TMP"
 }
 trap cleanup EXIT INT TERM
@@ -317,4 +329,94 @@ grep -q "serve: fleet drained" "$TMP/serve.log" || {
     exit 1
 }
 
-echo "smoke_restart: OK (single-tenant ingested $INGESTED/$TOTAL; fleet alpha $A_REC, beta $B_REC)"
+# --- Failover phase: kill -9 the leader, promote the hot standby ---------
+
+echo "smoke_restart: failover phase — leader + follower, kill -9, promote"
+start_serve -state-dir "$TMP/leader"
+"$TMP/serve" -addr "127.0.0.1:$FPORT" -train 3 -retrain 2 \
+    -state-dir "$TMP/standby" -follow "$ADDR" -follow-poll 25ms \
+    >> "$TMP/follower.log" 2>&1 &
+FOLLOW_PID=$!
+i=0
+until curl -fsS "$FADDR/healthz" > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "smoke_restart: FAIL: follower never became healthy" >&2
+        cat "$TMP/follower.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+FSTATS=$(curl -fsS "$FADDR/stats")
+echo "$FSTATS" | grep -q '"role": *"standby"' || {
+    echo "smoke_restart: FAIL: follower does not report standby role" >&2
+    exit 1
+}
+# A standby refuses writes with 503 + Retry-After (same resume contract
+# as a restarting daemon).
+STANDBY_CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    --data-binary "@$TMP/nudge.log" "$FADDR/ingest/batch")
+if [ "$STANDBY_CODE" != "503" ]; then
+    echo "smoke_restart: FAIL: standby ingest returned HTTP $STANDBY_CODE, want 503" >&2
+    exit 1
+fi
+
+"$TMP/loadgen" -addr "$ADDR" -rates 500,1000,2000,4000 -step-duration 2s \
+    -batch 128 -weeks 2 -scale 0.02 -out "$TMP/failover-sweep.json" \
+    -ledger "$TMP/failover-ledger.json" > "$TMP/failover-loadgen.log" 2>&1 &
+LG_PID=$!
+i=0
+until [ -f "$TMP/failover-ledger.json" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "smoke_restart: FAIL: loadgen never completed a sweep step (failover phase)" >&2
+        cat "$TMP/failover-loadgen.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+sleep 0.7 # land the kill inside the next step — genuinely mid-sweep
+echo "smoke_restart: kill -9 $SERVE_PID (leader, mid-sweep)"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+kill -9 "$LG_PID" 2>/dev/null || true
+wait "$LG_PID" 2>/dev/null || true
+
+LEDGER_SEQ=$(grep -o '"sequenced": *[0-9]*' "$TMP/failover-ledger.json" | grep -o '[0-9]*$')
+PROMOTE_RESP=$(curl -fsS -X POST "$FADDR/promote")
+echo "$PROMOTE_RESP" | grep -q '"role": *"leader"' || {
+    echo "smoke_restart: FAIL: POST /promote did not yield a leader" >&2
+    cat "$TMP/follower.log" >&2
+    exit 1
+}
+FMETRICS=$(curl -fsS "$FADDR/metrics")
+echo "$FMETRICS" | grep -q '^standby_promotions_total 1' || {
+    echo "smoke_restart: FAIL: standby_promotions_total != 1 after promotion" >&2
+    exit 1
+}
+PROMOTED=$(stat_field ingested "$FADDR")
+# The ledger records what the leader acknowledged at a drained step
+# boundary; batches are group-committed, the follower tails flushed
+# segments, so everything in the ledger minus the WAL's in-memory tail
+# must have reached the replica before the kill.
+FLOOR=$((LEDGER_SEQ - 64))
+if [ "$PROMOTED" -lt "$FLOOR" ]; then
+    echo "smoke_restart: FAIL: promoted follower has $PROMOTED events < ledger floor $FLOOR (ledger $LEDGER_SEQ)" >&2
+    cat "$TMP/follower.log" >&2
+    exit 1
+fi
+# The promoted daemon owns the write path now: fresh writes must land.
+curl -fsS -X POST --data-binary "@$TMP/nudge.log" "$FADDR/ingest/batch" > /dev/null
+wait_quiesce "$FADDR"
+POST_PROMOTE=$(stat_field ingested "$FADDR")
+if [ "$POST_PROMOTE" -le "$PROMOTED" ]; then
+    echo "smoke_restart: FAIL: promoted follower did not accept fresh writes ($PROMOTED -> $POST_PROMOTE)" >&2
+    exit 1
+fi
+echo "smoke_restart: failover OK (replicated $PROMOTED >= ledger floor $FLOOR, writes resumed at $POST_PROMOTE)"
+kill -9 "$FOLLOW_PID"
+wait "$FOLLOW_PID" 2>/dev/null || true
+FOLLOW_PID=""
+
+echo "smoke_restart: OK (single-tenant ingested $INGESTED/$TOTAL; fleet alpha $A_REC, beta $B_REC; failover replicated $PROMOTED)"

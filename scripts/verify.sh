@@ -34,6 +34,17 @@ echo "== overload-path gate (-race -count=1)"
 go test -race -count=1 \
     -run 'Saturation|Warnings(NotUnder|Reader)|StormingTenant|StalledHeader' \
     ./internal/stream ./internal/fleet ./cmd/serve
+echo "== standby/failover gate (-race -count=1)"
+# The hot-standby pins re-proven fresh every run: follower catch-up and
+# promotion byte-equivalence against the single-node oracle, replica
+# crash/resume, auto-promotion, WAL segment serving edge cases (live
+# tail reads, rotation boundaries, prune vs follower acks and in-flight
+# pulls), the parallel backfill path (ordering, garbage tolerance,
+# cancellation, singleton), the shared Retry-After parser, and the
+# monotonic idle clock the failover sweep flushed out.
+go test -race -count=1 \
+    -run 'Follower|Promotion|Backfill|Segment|Prune|TornTransfer|RetryAfter|MonotonicClock' \
+    ./internal/stream ./internal/persist ./internal/httpx ./internal/fleet
 echo "== go test -race -count=1 ./internal/stream ./internal/predictor ./internal/obsv ./internal/persist ./internal/fleet"
 # -count=1 defeats the test cache: the concurrency-critical packages
 # (pipeline, predictor swap, metrics registry, durable state, tenant
