@@ -16,8 +16,10 @@ verify:
 # Component benchmarks of the training pipeline and the serving hot
 # path (single-tenant and fleet-routed), snapshotted to BENCH_7.json,
 # then the closed-loop capacity sweep (cmd/loadgen against a live
-# cmd/serve, stepped offered rates plus a 2x overdrive step) snapshotted
-# to BENCH_8.json, then the hot-standby phase (steady-state replication
+# durable cmd/serve, stepped offered rates from 8 connections plus a 2x
+# overdrive step, auto-extended until the p99 target breaches, with a
+# CPU profile of the peak step to results/cpu_capacity.pprof)
+# snapshotted to BENCH_10.json, then the hot-standby phase (steady-state replication
 # lag under load, kill -9 failover time to first accepted write on the
 # promoted follower, and POST /backfill throughput against the raw
 # disk-read ceiling) snapshotted to BENCH_9.json. See scripts/bench.sh;

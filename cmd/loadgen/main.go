@@ -16,14 +16,22 @@
 //
 // Usage:
 //
-//	loadgen [-addr http://localhost:8080] [-tenants 1]
-//	        [-rates 500,1000,2000,4000] [-overdrive] [-step-duration 5s]
-//	        [-batch 256] [-seed 7] [-weeks 4] [-scale 0.05] [-storms]
-//	        [-p99-target 50ms] [-out BENCH_8.json] [-ledger PATH]
+//	loadgen [-addr http://localhost:8080] [-tenants 1] [-connections 1]
+//	        [-rates 500,1000,2000,4000] [-overdrive] [-auto-extend]
+//	        [-step-duration 5s] [-batch 256] [-seed 7] [-weeks 4]
+//	        [-scale 0.05] [-storms] [-p99-target 50ms]
+//	        [-allow-open-ended] [-out BENCH_8.json] [-ledger PATH]
 //
 // With -tenants > 1 the feed is replayed concurrently into that many
 // fleet tenants (/t/load-NN/... — the daemon must run -fleet), which
 // exercises per-tenant admission fairness under aggregate load.
+// -connections N keeps N batches in flight per tenant: each connection
+// claims the tenant's next batch-sized cursor range and sends it in
+// order (resuming its own range on 429/503), so per-range ordering and
+// the resume contract hold while the server's group commit sees real
+// cross-request concurrency. Cross-range arrival order is delegated to
+// the daemon's reorder stage — run it with an out-of-order tolerance
+// scaled to the sweep's time compression (scripts/bench.sh does).
 // -storms enables bgsim's log-storm shaping so the feed itself carries
 // burst arrival structure. -overdrive appends a final step at twice the
 // highest configured rate: the step that must produce bounded-latency
@@ -35,7 +43,13 @@
 // waits for the pipeline to drain, measuring drain time and
 // warning-emission lag. The sweep ends with the capacity verdict: the
 // highest achieved rate whose p99 stayed at or under -p99-target,
-// absolute and per core, written to -out as JSON.
+// absolute and per core, written to -out as JSON — but only when the
+// knee was actually found (some step breached the p99 target, so the
+// verdict is a real knee, not the top of the sweep). -auto-extend keeps
+// doubling the offered rate past the configured steps until the target
+// is breached (bounded by a safety cap); without a breach the report
+// carries "knee_found": false and loadgen refuses to state a capacity
+// number unless -allow-open-ended is set.
 //
 // -ledger PATH additionally maintains a crash-recovery ledger, written
 // atomically after every step: the accepted- and sequenced-event counts
@@ -68,8 +82,10 @@ import (
 func main() {
 	addr := flag.String("addr", "http://localhost:8080", "serve daemon base URL")
 	tenants := flag.Int("tenants", 1, "concurrent tenants (>1 needs a -fleet daemon)")
+	connections := flag.Int("connections", 1, "in-flight batches per tenant")
 	rates := flag.String("rates", "500,1000,2000,4000", "offered-load steps in events/sec, comma-separated")
 	overdrive := flag.Bool("overdrive", false, "append a step at 2x the highest rate")
+	autoExtend := flag.Bool("auto-extend", false, "keep doubling the rate past the sweep until p99 breaches the target")
 	stepDur := flag.Duration("step-duration", 5*time.Second, "send time per step")
 	batch := flag.Int("batch", 256, "events per POST /ingest/batch")
 	seed := flag.Uint64("seed", 7, "feed generator seed")
@@ -77,6 +93,7 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "feed raw duplication scale")
 	storms := flag.Bool("storms", false, "shape the feed with bgsim log storms")
 	p99Target := flag.Duration("p99-target", 50*time.Millisecond, "capacity verdict: highest rate with p99 <= this")
+	allowOpenEnded := flag.Bool("allow-open-ended", false, "report a capacity number even when the sweep never breached the p99 target")
 	out := flag.String("out", "BENCH_8.json", "write the capacity report here")
 	ledger := flag.String("ledger", "", "maintain a crash-recovery ledger at this path")
 	flag.Parse()
@@ -86,33 +103,46 @@ func main() {
 		log.Fatal("loadgen: ", err)
 	}
 	if err := run(opts{
-		addr: *addr, tenants: *tenants, steps: steps, stepDur: *stepDur,
+		addr: *addr, tenants: *tenants, connections: *connections,
+		steps: steps, autoExtend: *autoExtend, stepDur: *stepDur,
 		batch: *batch, seed: *seed, weeks: *weeks, scale: *scale,
-		storms: *storms, p99Target: *p99Target, out: *out, ledger: *ledger,
+		storms: *storms, p99Target: *p99Target,
+		allowOpenEnded: *allowOpenEnded, out: *out, ledger: *ledger,
 	}); err != nil {
 		log.Fatal("loadgen: ", err)
 	}
 }
 
 type opts struct {
-	addr      string
-	tenants   int
-	steps     []step
-	stepDur   time.Duration
-	batch     int
-	seed      uint64
-	weeks     int
-	scale     float64
-	storms    bool
-	p99Target time.Duration
-	out       string
-	ledger    string
+	addr           string
+	tenants        int
+	connections    int
+	steps          []step
+	autoExtend     bool
+	stepDur        time.Duration
+	batch          int
+	seed           uint64
+	weeks          int
+	scale          float64
+	storms         bool
+	p99Target      time.Duration
+	allowOpenEnded bool
+	out            string
+	ledger         string
 }
 
 type step struct {
 	rate      float64
 	overdrive bool
+	auto      bool
 }
+
+// maxAutoExtend caps -auto-extend at this many doublings past the
+// configured sweep: the closed loop can stop offering more (every
+// connection already saturated) without the latency target breaking,
+// and the harness must terminate with an honest "no knee" verdict
+// rather than extend forever.
+const maxAutoExtend = 12
 
 func parseRates(s string, overdrive bool) ([]step, error) {
 	var steps []step
@@ -223,6 +253,7 @@ type stepResult struct {
 	OfferedEPS      float64 `json:"offered_eps"`
 	TimeCompression float64 `json:"time_compression"`
 	Overdrive       bool    `json:"overdrive,omitempty"`
+	AutoExtended    bool    `json:"auto_extended,omitempty"`
 	DurationSec     float64 `json:"duration_sec"`
 	Requests        int64   `json:"requests"`
 	AcceptedEvents  int64   `json:"accepted_events"`
@@ -243,20 +274,27 @@ type stepResult struct {
 }
 
 type report struct {
-	Target             string       `json:"target"`
-	Tenants            int          `json:"tenants"`
-	FeedSeed           uint64       `json:"feed_seed"`
-	FeedWeeks          int          `json:"feed_weeks"`
-	FeedScale          float64      `json:"feed_scale"`
-	FeedStorms         bool         `json:"feed_storms"`
-	FeedEvents         int          `json:"feed_events"`
-	FeedNaturalEPS     float64      `json:"feed_natural_eps"`
-	BatchSize          int          `json:"batch_size"`
-	Cores              int          `json:"cores"`
-	P99TargetMs        float64      `json:"p99_target_ms"`
-	Steps              []stepResult `json:"steps"`
-	CapacityEPS        float64      `json:"capacity_events_per_sec"`
-	CapacityEPSPerCore float64      `json:"capacity_events_per_sec_per_core"`
+	Target         string       `json:"target"`
+	Tenants        int          `json:"tenants"`
+	Connections    int          `json:"connections"`
+	FeedSeed       uint64       `json:"feed_seed"`
+	FeedWeeks      int          `json:"feed_weeks"`
+	FeedScale      float64      `json:"feed_scale"`
+	FeedStorms     bool         `json:"feed_storms"`
+	FeedEvents     int          `json:"feed_events"`
+	FeedNaturalEPS float64      `json:"feed_natural_eps"`
+	BatchSize      int          `json:"batch_size"`
+	Cores          int          `json:"cores"`
+	P99TargetMs    float64      `json:"p99_target_ms"`
+	Steps          []stepResult `json:"steps"`
+	// KneeFound reports that some step breached the p99 target, so the
+	// capacity verdict is a real knee and not merely the top of the
+	// sweep. Without it the capacity fields are zero unless the run was
+	// started with -allow-open-ended.
+	KneeFound          bool    `json:"knee_found"`
+	OpenEnded          bool    `json:"open_ended,omitempty"`
+	CapacityEPS        float64 `json:"capacity_events_per_sec"`
+	CapacityEPSPerCore float64 `json:"capacity_events_per_sec_per_core"`
 }
 
 // crashLedger is what loadgen knows the server acknowledged, for
@@ -269,12 +307,33 @@ type crashLedger struct {
 	Sequenced      int64 `json:"sequenced"`
 }
 
+// statsSource is where runStep reads server-side counters from. The
+// live implementation (httpStats) scrapes the daemon; tests substitute
+// a synthetic source to pin the step-boundary accounting.
+type statsSource interface {
+	totals() (serverStats, error)
+	backpressure() (float64, error)
+}
+
 type runner struct {
 	o       opts
 	feed    *feed
 	client  *http.Client
-	cursors []int64 // per-tenant global feed cursor, persists across steps
+	stats   statsSource
+	curMu   []sync.Mutex // per-tenant cursor claim locks
+	cursors []int64      // per-tenant global feed cursor, persists across steps
 	ledger  crashLedger
+}
+
+// claim reserves the next n-event cursor range for tenant ti and
+// returns its start. Connections of the same tenant partition the feed
+// into disjoint, gap-free ranges this way.
+func (r *runner) claim(ti, n int) int64 {
+	r.curMu[ti].Lock()
+	c := r.cursors[ti]
+	r.cursors[ti] += int64(n)
+	r.curMu[ti].Unlock()
+	return c
 }
 
 // tenantURL is the route prefix for tenant i: unprefixed when running
@@ -287,9 +346,27 @@ func (r *runner) tenantURL(i int) string {
 	return fmt.Sprintf("%s/t/load-%02d", r.o.addr, i)
 }
 
+// capacityVerdict is the sweep's conclusion: the highest achieved rate
+// whose p99 met the target, and whether the knee was actually found —
+// i.e. some step breached the target, proving the verdict is a real
+// ceiling and not just the top of the sweep.
+func capacityVerdict(steps []stepResult, targetMs float64) (eps float64, kneeFound bool) {
+	for _, s := range steps {
+		if s.P99Ms > targetMs {
+			kneeFound = true
+		} else if s.AchievedEPS > eps {
+			eps = s.AchievedEPS
+		}
+	}
+	return eps, kneeFound
+}
+
 func run(o opts) error {
 	if o.tenants < 1 {
 		return fmt.Errorf("-tenants must be >= 1")
+	}
+	if o.connections < 1 {
+		return fmt.Errorf("-connections must be >= 1")
 	}
 	if _, err := http.Get(o.addr + "/healthz"); err != nil {
 		return fmt.Errorf("daemon not reachable (start ./cmd/serve first): %w", err)
@@ -298,23 +375,33 @@ func run(o opts) error {
 	if err != nil {
 		return err
 	}
+	// The default transport keeps only two idle connections per host;
+	// with -connections worth of concurrent POSTs that means constant
+	// reconnects whose handshakes would pollute the latency histogram.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = o.tenants*o.connections + 4
 	r := &runner{
 		o: o, feed: f,
-		client:  &http.Client{Timeout: 2 * time.Minute},
+		client:  &http.Client{Timeout: 2 * time.Minute, Transport: tr},
+		curMu:   make([]sync.Mutex, o.tenants),
 		cursors: make([]int64, o.tenants),
 	}
-	fmt.Printf("loadgen: feed %d events (natural %.0f eps), %d tenant(s), %d-event batches\n",
-		len(f.events), f.naturalEPS(), o.tenants, o.batch)
+	r.stats = &httpStats{r: r}
+	fmt.Printf("loadgen: feed %d events (natural %.0f eps), %d tenant(s) x %d connection(s), %d-event batches\n",
+		len(f.events), f.naturalEPS(), o.tenants, o.connections, o.batch)
 
 	rep := report{
-		Target: o.addr, Tenants: o.tenants,
+		Target: o.addr, Tenants: o.tenants, Connections: o.connections,
 		FeedSeed: o.seed, FeedWeeks: o.weeks, FeedScale: o.scale,
 		FeedStorms: o.storms, FeedEvents: len(f.events),
 		FeedNaturalEPS: f.naturalEPS(), BatchSize: o.batch,
 		Cores:       runtime.GOMAXPROCS(0),
 		P99TargetMs: ms(o.p99Target),
 	}
-	for i, st := range r.o.steps {
+	steps := r.o.steps
+	breached := false
+	for i := 0; i < len(steps); i++ {
+		st := steps[i]
 		res, err := r.runStep(st)
 		if err != nil {
 			return fmt.Errorf("step %d (%.0f eps): %w", i+1, st.rate, err)
@@ -323,6 +410,9 @@ func run(o opts) error {
 		mark := ""
 		if st.overdrive {
 			mark = " [overdrive]"
+		}
+		if st.auto {
+			mark = " [auto]"
 		}
 		fmt.Printf("loadgen: %7.0f eps offered%s: %7.0f achieved | p50 %6.1fms p99 %6.1fms | 429s %d | drain %dms | warn lag %dms\n",
 			res.OfferedEPS, mark, res.AchievedEPS, res.P50Ms, res.P99Ms,
@@ -333,21 +423,39 @@ func run(o opts) error {
 				return fmt.Errorf("ledger: %w", err)
 			}
 		}
-	}
-
-	// Capacity verdict: the highest rate the service actually sustained
-	// while meeting the latency target.
-	for _, s := range rep.Steps {
-		if s.P99Ms <= rep.P99TargetMs && s.AchievedEPS > rep.CapacityEPS {
-			rep.CapacityEPS = s.AchievedEPS
+		if res.P99Ms > rep.P99TargetMs {
+			breached = true
+		}
+		// Auto-extension: the configured sweep topped out under the
+		// latency target, so the knee is still ahead — keep doubling.
+		if o.autoExtend && !breached && i == len(steps)-1 &&
+			len(steps) < len(r.o.steps)+maxAutoExtend {
+			steps = append(steps, step{rate: 2 * st.rate, auto: true})
 		}
 	}
+
+	rep.CapacityEPS, rep.KneeFound = capacityVerdict(rep.Steps, rep.P99TargetMs)
+	if !rep.KneeFound && !o.allowOpenEnded {
+		// No step ever breached the target: the "capacity" would just be
+		// the top of the sweep. Refuse the number; keep the curve.
+		rep.CapacityEPS = 0
+		if err := writeJSONAtomic(o.out, rep); err != nil {
+			return err
+		}
+		return fmt.Errorf("sweep never breached the p99 target (%.0fms): no knee found — raise -rates, use -auto-extend, or pass -allow-open-ended (curve written to %s)",
+			rep.P99TargetMs, o.out)
+	}
+	rep.OpenEnded = !rep.KneeFound
 	rep.CapacityEPSPerCore = rep.CapacityEPS / float64(rep.Cores)
 	if err := writeJSONAtomic(o.out, rep); err != nil {
 		return err
 	}
-	fmt.Printf("loadgen: capacity %.0f events/s (%.0f per core) at p99 <= %.0fms — wrote %s\n",
-		rep.CapacityEPS, rep.CapacityEPSPerCore, rep.P99TargetMs, o.out)
+	caveat := ""
+	if rep.OpenEnded {
+		caveat = " [open-ended: p99 target never breached]"
+	}
+	fmt.Printf("loadgen: capacity %.0f events/s (%.0f per core) at p99 <= %.0fms%s — wrote %s\n",
+		rep.CapacityEPS, rep.CapacityEPSPerCore, rep.P99TargetMs, caveat, o.out)
 	return nil
 }
 
@@ -362,27 +470,56 @@ type workerResult struct {
 	err            error
 }
 
+// attributeSequenced converts a raw cross-boundary sequenced delta into
+// this step's own count. Events accepted in an earlier step can still
+// sit in the reorder buffer at the step boundary and only sequence once
+// this step's traffic advances the watermark — the BENCH_8 bleed, where
+// step 3 reported 8196 sequenced against 8192 accepted. Releases are
+// time-ordered, so that carry drains ahead of this step's own events:
+// subtract it, then clamp to what this step accepted, which no honest
+// per-step delta can exceed.
+func attributeSequenced(rawDelta, outstandingBefore, accepted int64) int64 {
+	d := rawDelta - outstandingBefore
+	if d < 0 {
+		d = 0
+	}
+	if d > accepted {
+		d = accepted
+	}
+	return d
+}
+
 func (r *runner) runStep(st step) (stepResult, error) {
-	before, err := r.sumStats()
+	before, err := r.stats.totals()
 	if err != nil {
 		return stepResult{}, err
 	}
-	bpBefore, err := r.backpressureSum()
+	bpBefore, err := r.stats.backpressure()
 	if err != nil {
 		return stepResult{}, err
+	}
+	// Accepted-but-unsequenced events carried in from earlier steps
+	// (reorder-buffered at the snapshot): this step's sequenced delta
+	// must not claim them.
+	outstanding := r.ledger.Accepted - before.Sequenced - before.LateDropped
+	if outstanding < 0 {
+		outstanding = 0 // warm daemon with counters loadgen never fed
 	}
 
-	perTenant := st.rate / float64(r.o.tenants)
+	workers := r.o.tenants * r.o.connections
+	perWorker := st.rate / float64(workers)
 	deadline := time.Now().Add(r.o.stepDur)
-	results := make([]workerResult, r.o.tenants)
+	results := make([]workerResult, workers)
 	var wg sync.WaitGroup
 	t0 := time.Now()
-	for i := 0; i < r.o.tenants; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			r.work(i, perTenant, deadline, &results[i])
-		}(i)
+	for ti := 0; ti < r.o.tenants; ti++ {
+		for ci := 0; ci < r.o.connections; ci++ {
+			wg.Add(1)
+			go func(ti, w int) {
+				defer wg.Done()
+				r.work(ti, perWorker, deadline, &results[w])
+			}(ti, ti*r.o.connections+ci)
+		}
 	}
 	wg.Wait()
 	sendDur := time.Since(t0)
@@ -405,11 +542,12 @@ func (r *runner) runStep(st step) (stepResult, error) {
 	if err != nil {
 		return stepResult{}, err
 	}
-	bpAfter, err := r.backpressureSum()
+	bpAfter, err := r.stats.backpressure()
 	if err != nil {
 		return stepResult{}, err
 	}
 	d := after.sub(before)
+	d.Sequenced = attributeSequenced(d.Sequenced, outstanding, agg.accepted)
 	r.ledger.Accepted += agg.accepted
 	r.ledger.Sequenced = after.Sequenced
 
@@ -445,47 +583,56 @@ func (r *runner) runStep(st step) (stepResult, error) {
 	return res, nil
 }
 
-// work replays the feed into one tenant until deadline: one batch in
-// flight, paced to the offered rate, resuming from the first unaccepted
-// line on 429/503 so the tenant's event order is never broken.
+// work replays claimed feed ranges into one tenant connection until
+// deadline, paced to this connection's share of the offered rate. Each
+// claimed range is sent in order and resent from its own first
+// unaccepted line on 429/503, so per-range ordering and the resume
+// contract hold exactly as in the single-connection harness; with
+// -connections > 1 several ranges are in flight at once and their
+// arrival interleaving is the server reorder stage's job. A range the
+// deadline cuts short is abandoned unsent — never counted accepted.
 func (r *runner) work(ti int, rate float64, deadline time.Time, res *workerResult) {
 	base := r.tenantURL(ti)
 	interval := time.Duration(float64(r.o.batch) / rate * float64(time.Second))
 	next := time.Now()
 	for time.Now().Before(deadline) {
-		body := r.feed.batch(r.cursors[ti], r.o.batch)
-		t0 := time.Now()
-		resp, err := r.client.Post(base+"/ingest/batch", "text/plain", bytes.NewReader(body))
-		lat := time.Since(t0)
-		if err != nil {
-			res.netErrs++
-			time.Sleep(100 * time.Millisecond)
-			continue
-		}
-		var ir ingestResponse
-		derr := json.NewDecoder(resp.Body).Decode(&ir)
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if derr != nil {
-			res.netErrs++
-			continue
-		}
-		res.lat = append(res.lat, lat)
-		res.requests++
-		res.accepted += int64(ir.Accepted)
-		r.cursors[ti] += int64(ir.Accepted)
-		switch resp.StatusCode {
-		case http.StatusOK:
-		case http.StatusTooManyRequests:
-			res.rejected429++
-			time.Sleep(retryAfter(resp))
-		case http.StatusServiceUnavailable:
-			res.unavailable503++
-			time.Sleep(retryAfter(resp))
-		default:
-			res.err = fmt.Errorf("tenant %d: ingest HTTP %d: %s (fleet daemon required for -tenants > 1?)",
-				ti, resp.StatusCode, ir.Error)
-			return
+		start := r.claim(ti, r.o.batch)
+		sent := 0
+		for sent < r.o.batch && time.Now().Before(deadline) {
+			body := r.feed.batch(start+int64(sent), r.o.batch-sent)
+			t0 := time.Now()
+			resp, err := r.client.Post(base+"/ingest/batch", "text/plain", bytes.NewReader(body))
+			lat := time.Since(t0)
+			if err != nil {
+				res.netErrs++
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			var ir ingestResponse
+			derr := json.NewDecoder(resp.Body).Decode(&ir)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if derr != nil {
+				res.netErrs++
+				continue
+			}
+			res.lat = append(res.lat, lat)
+			res.requests++
+			res.accepted += int64(ir.Accepted)
+			sent += ir.Accepted
+			switch resp.StatusCode {
+			case http.StatusOK:
+			case http.StatusTooManyRequests:
+				res.rejected429++
+				time.Sleep(retryAfter(resp))
+			case http.StatusServiceUnavailable:
+				res.unavailable503++
+				time.Sleep(retryAfter(resp))
+			default:
+				res.err = fmt.Errorf("tenant %d: ingest HTTP %d: %s (fleet daemon required for -tenants > 1?)",
+					ti, resp.StatusCode, ir.Error)
+				return
+			}
 		}
 		next = next.Add(interval)
 		if d := time.Until(next); d > 0 {
@@ -512,7 +659,7 @@ func retryAfter(resp *http.Response) time.Duration {
 // the pipeline drain time and the warning-emission lag.
 func (r *runner) settle(before serverStats) (drainMs, warnLagMs int64, final serverStats, err error) {
 	t0 := time.Now()
-	prev, err := r.sumStats()
+	prev, err := r.stats.totals()
 	if err != nil {
 		return 0, 0, prev, err
 	}
@@ -526,7 +673,7 @@ func (r *runner) settle(before serverStats) (drainMs, warnLagMs int64, final ser
 	stable := 0
 	for time.Now().Before(deadline) && stable < 4 {
 		time.Sleep(50 * time.Millisecond)
-		cur, err := r.sumStats()
+		cur, err := r.stats.totals()
 		if err != nil {
 			return drainMs, warnLagMs, prev, err
 		}
@@ -549,9 +696,16 @@ func (r *runner) settle(before serverStats) (drainMs, warnLagMs int64, final ser
 	return drainMs, warnLagMs, prev, nil
 }
 
-// sumStats aggregates /stats across every tenant this run feeds. A 404
+// httpStats is the live statsSource: it scrapes the daemon's /stats and
+// /metrics over the runner's client.
+type httpStats struct {
+	r *runner
+}
+
+// totals aggregates /stats across every tenant this run feeds. A 404
 // means the tenant does not exist yet (nothing POSTed) — zero counts.
-func (r *runner) sumStats() (serverStats, error) {
+func (h *httpStats) totals() (serverStats, error) {
+	r := h.r
 	var agg serverStats
 	for i := 0; i < r.o.tenants; i++ {
 		resp, err := r.client.Get(r.tenantURL(i) + "/stats")
@@ -579,11 +733,12 @@ func (r *runner) sumStats() (serverStats, error) {
 	return agg, nil
 }
 
-// backpressureSum scrapes the daemon's /metrics and sums every
+// backpressure scrapes the daemon's /metrics and sums every
 // stream_ingest_backpressure_seconds_sum series (one per tenant under
 // -fleet, unlabeled otherwise): total wall time ingest calls spent
 // waiting for a pipeline slot.
-func (r *runner) backpressureSum() (float64, error) {
+func (h *httpStats) backpressure() (float64, error) {
+	r := h.r
 	resp, err := r.client.Get(r.o.addr + "/metrics")
 	if err != nil {
 		return 0, err

@@ -7,9 +7,10 @@
 //	      [-policy sliding|whole|static] [-shards 4] [-reorder 60]
 //	      [-parallelism 0] [-pprof] [-state-dir DIR]
 //	      [-admit-wait 2s] [-read-header-timeout 10s] [-read-timeout 5m]
-//	      [-idle-timeout 2m]
+//	      [-idle-timeout 2m] [-sync-max-wait 0]
 //	      [-fleet] [-default-tenant default] [-max-active 0]
 //	      [-idle-evict 0] [-retrain-workers 0] [-ingest-slots 0]
+//	      [-sync-parallel 0]
 //	      [-follow URL] [-follower-id standby] [-follow-poll 250ms]
 //	      [-promote-after 0] [-backfill FILE] [-backfill-workers 0]
 //
@@ -64,7 +65,12 @@
 // the directory and every sequenced event is written to a CRC-checked
 // write-ahead log, so a crashed or killed process restarts where it left
 // off (newest valid snapshot + WAL tail replay — DESIGN.md §9). Without
-// it the service is purely in-memory, as before.
+// it the service is purely in-memory, as before. Batch ingest acks are
+// released only after the covering fsync; concurrent batches share one
+// fsync through the WAL commit pipeline (DESIGN.md §15). -sync-max-wait
+// adds a deliberate coalescing delay on top of the self-clocking
+// pipeline, and in fleet mode -sync-parallel bounds concurrent fsyncs
+// across all tenant stores on the shared disk.
 //
 // Retraining follows *stream time* (event timestamps), so replayed or
 // time-compressed feeds retrain on their own timeline. Try it end to end:
@@ -109,6 +115,8 @@ func main() {
 	idleEvict := flag.Duration("idle-evict", 0, "fleet: evict tenants idle this long, e.g. 30m (0 = never)")
 	retrainWorkers := flag.Int("retrain-workers", 0, "fleet: concurrent background training passes (0 = GOMAXPROCS, negative = unlimited)")
 	admitWait := flag.Duration("admit-wait", 2*time.Second, "max time an ingest request waits for a pipeline slot before a 429")
+	syncMaxWait := flag.Duration("sync-max-wait", 0, "WAL group-commit coalescing delay: how long the background syncer lingers so more batches share one fsync (0 = sync as soon as the disk is free)")
+	syncParallel := flag.Int("sync-parallel", 0, "fleet: concurrent WAL fsyncs across all tenant stores (0 = 2, negative = unbounded per store)")
 	ingestSlots := flag.Int("ingest-slots", 0, "fleet: per-tenant concurrent ingest request cap (0 = 4, negative = uncapped)")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "close connections whose request header stalls this long")
 	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "close connections whose request body stalls this long")
@@ -128,6 +136,7 @@ func main() {
 		stateDir: *stateDir, fleetOn: *fleetOn, defaultTenant: *defaultTenant,
 		maxActive: *maxActive, idleEvict: *idleEvict, retrainWorkers: *retrainWorkers,
 		admitWait: *admitWait, ingestSlots: *ingestSlots,
+		syncMaxWait: *syncMaxWait, syncParallel: *syncParallel,
 		readHeaderTimeout: *readHeaderTimeout, readTimeout: *readTimeout,
 		idleTimeout: *idleTimeout,
 		follow: *follow, followerID: *followerID, followPoll: *followPoll,
@@ -157,6 +166,8 @@ type serveOpts struct {
 	retrainWorkers int
 	admitWait      time.Duration
 	ingestSlots    int
+	syncMaxWait    time.Duration
+	syncParallel   int
 
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
@@ -183,6 +194,7 @@ func streamConfig(o serveOpts) (stream.Config, error) {
 	cfg.QueueLen = o.queue
 	cfg.Parallelism = o.parallelism
 	cfg.AdmitWait = o.admitWait
+	cfg.SyncMaxWait = o.syncMaxWait
 	switch o.policy {
 	case "sliding":
 		cfg.Policy = engine.Sliding
@@ -271,6 +283,7 @@ func run(o serveOpts) error {
 			IdleAfter:          o.idleEvict,
 			RetrainConcurrency: o.retrainWorkers,
 			IngestSlots:        o.ingestSlots,
+			SyncParallel:       o.syncParallel,
 		})
 		if err != nil {
 			return err

@@ -99,6 +99,15 @@ type Config struct {
 	// connections (TestStormingTenantCannotStarveQuietTenant). Non-ingest
 	// routes are never throttled. 0 means 4; negative disables the cap.
 	IngestSlots int
+	// SyncParallel bounds concurrent WAL fsyncs across the whole fleet:
+	// the registry builds one persist.SyncExecutor and installs it in
+	// every tenant's stream config (like the retrain limiter), so tenant
+	// stores sharing a disk queue behind a few device flushes — and the
+	// queueing deepens each store's own commit coalescing — instead of
+	// issuing a flush storm. 0 means 2; negative disables the shared
+	// executor (each store fsyncs independently). Ignored without Root
+	// (no durability, no fsyncs).
+	SyncParallel int
 }
 
 // Registry owns the fleet's tenants. Lock order: Registry.mu is never
@@ -106,10 +115,11 @@ type Config struct {
 // for the MaxActive cap, the idle janitor) only TryLock their victims —
 // so no lock cycle exists no matter how activations and evictions race.
 type Registry struct {
-	cfg     Config
-	limiter *stream.RetrainLimiter
-	m       *metrics
-	closed  atomic.Bool
+	cfg      Config
+	limiter  *stream.RetrainLimiter
+	syncExec *persist.SyncExecutor
+	m        *metrics
+	closed   atomic.Bool
 
 	mu      sync.Mutex
 	tenants map[string]*tenant
@@ -187,6 +197,9 @@ func New(cfg Config) (*Registry, error) {
 	if cfg.Stream.RetrainLimiter != nil {
 		return nil, errors.New("fleet: Stream.RetrainLimiter must be nil; the registry installs the shared limiter")
 	}
+	if cfg.Stream.WALSyncExec != nil {
+		return nil, errors.New("fleet: Stream.WALSyncExec must be nil; the registry installs the shared executor")
+	}
 	if cfg.DefaultTenant == "" {
 		cfg.DefaultTenant = "default"
 	}
@@ -199,6 +212,13 @@ func New(cfg Config) (*Registry, error) {
 		r.limiter = stream.NewRetrainLimiter(runtime.GOMAXPROCS(0))
 	case cfg.RetrainConcurrency > 0:
 		r.limiter = stream.NewRetrainLimiter(cfg.RetrainConcurrency)
+	}
+	if cfg.Root != "" && cfg.SyncParallel >= 0 {
+		n := cfg.SyncParallel
+		if n == 0 {
+			n = 2
+		}
+		r.syncExec = persist.NewSyncExecutor(n)
 	}
 	if cfg.Root != "" {
 		ids, err := persist.ListTenantDirs(cfg.Root)
@@ -306,6 +326,7 @@ func (r *Registry) Acquire(id string, create bool) (Handle, error) {
 func (r *Registry) activate(tn *tenant) error {
 	scfg := r.cfg.Stream
 	scfg.RetrainLimiter = r.limiter
+	scfg.WALSyncExec = r.syncExec
 	if r.cfg.Root != "" {
 		dir, err := persist.TenantDir(r.cfg.Root, tn.id)
 		if err != nil {

@@ -1,0 +1,257 @@
+package persist
+
+// Asynchronous commit pipeline (DESIGN.md §15): AppendBatch enqueues
+// frames under the store mutex and returns a Ticket instead of fsyncing
+// inline. A per-store syncer goroutine runs the fsyncs; every ticket
+// issued while one fsync is in flight joins a single pending round and
+// is covered by the *next* fsync, so N concurrent appenders share one
+// disk flush instead of issuing N. The pipeline is self-clocking — the
+// deeper the disk is in an fsync, the more tickets the next round
+// coalesces — and Options.SyncMaxWait can add a deliberate delay on top
+// for deeper coalescing at low concurrency.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"time"
+)
+
+// ErrAbandoned resolves the tickets that were pending when Abandon tore
+// the store down: the covering fsync never happened, so the events must
+// not be acknowledged as durable. Errors arrive wrapped — test with
+// errors.Is.
+var ErrAbandoned = errors.New("persist: store abandoned before commit")
+
+// commitRound is one pending fsync and the frames it will cover. err is
+// written exactly once, before done is closed; waiters read it only
+// after <-done, so no further synchronization is needed.
+type commitRound struct {
+	done chan struct{}
+	err  error
+}
+
+// Ticket is the commit handle returned by AppendBatch. The batch's
+// frames are in the WAL buffer when AppendBatch returns; they are
+// durable once Wait returns nil. The zero Ticket is already durable
+// (Wait returns nil immediately) — it is what a store-less or dead path
+// hands out.
+type Ticket struct {
+	r *commitRound
+}
+
+// Wait blocks until the fsync covering the ticket's frames completes,
+// returning its error (nil = the frames are on stable storage). A ctx
+// expiry returns ctx.Err() without resolving durability either way: the
+// frames are still in the pipeline and will be synced, but the caller
+// must not acknowledge them.
+func (t Ticket) Wait(ctx context.Context) error {
+	if t.r == nil {
+		return nil
+	}
+	select {
+	case <-t.r.done:
+		return t.r.err
+	default:
+	}
+	select {
+	case <-t.r.done:
+		return t.r.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Done reports whether the covering fsync already completed (with either
+// outcome). The zero Ticket is done.
+func (t Ticket) Done() bool {
+	if t.r == nil {
+		return true
+	}
+	select {
+	case <-t.r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// failedDone is the shared pre-closed channel behind FailedTicket.
+var failedDone = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// FailedTicket returns an already-resolved ticket whose Wait reports
+// err. Callers that hit an append error before a round existed use it
+// to propagate the failure through the same ticket plumbing.
+func FailedTicket(err error) Ticket {
+	return Ticket{r: &commitRound{done: failedDone, err: err}}
+}
+
+// SyncExecutor bounds how many fsyncs run concurrently across every
+// store sharing it — fleet mode hands one executor to all tenant stores
+// on the same disk, so a burst of tenants does not queue up a burst of
+// device flushes. Queuing behind the executor deepens each store's own
+// coalescing: tickets keep accumulating into the pending round while
+// the store waits for a slot.
+type SyncExecutor struct {
+	sem chan struct{}
+}
+
+// NewSyncExecutor returns an executor allowing parallel concurrent
+// fsyncs (minimum 1 — a typical single-device state root wants exactly
+// that).
+func NewSyncExecutor(parallel int) *SyncExecutor {
+	if parallel < 1 {
+		parallel = 1
+	}
+	return &SyncExecutor{sem: make(chan struct{}, parallel)}
+}
+
+// do runs fn under the executor's concurrency bound.
+func (e *SyncExecutor) do(fn func() error) error {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	return fn()
+}
+
+// enqueueCommitLocked registers the frames just appended into the
+// pending commit round (creating it if this is the round's first batch)
+// and wakes the syncer. Caller holds st.mu.
+func (st *Store) enqueueCommitLocked() Ticket {
+	if st.pending == nil {
+		st.pending = &commitRound{done: make(chan struct{})}
+	}
+	r := st.pending
+	// The buffered kick collapses any number of concurrent wakes into
+	// one pass of the syncer loop.
+	select {
+	case st.kick <- struct{}{}:
+	default:
+	}
+	return Ticket{r: r}
+}
+
+// startSyncerLocked launches the background syncer once. Caller holds
+// st.mu. Read-only stores (followers listing segments, snapshot loads)
+// never call StartAppend and therefore never pay for the goroutine.
+func (st *Store) startSyncerLocked() {
+	if st.kick != nil {
+		return
+	}
+	st.kick = make(chan struct{}, 1)
+	st.syncStop = make(chan struct{})
+	st.syncerDone = make(chan struct{})
+	go st.syncer()
+}
+
+// stopSyncerLocked signals the syncer to exit. Caller holds st.mu and
+// must wait on syncerDone only after releasing it (the syncer needs the
+// mutex to finish an in-flight round).
+func (st *Store) stopSyncerLocked() {
+	if st.syncStop != nil && !st.syncStopped {
+		st.syncStopped = true
+		close(st.syncStop)
+	}
+}
+
+// failPendingLocked resolves the pending round (if any) with err, so
+// ticket holders stop waiting and know not to acknowledge. A round
+// already captured by an in-flight background sync is not here anymore;
+// it resolves with that fsync's real outcome. Caller holds st.mu.
+func (st *Store) failPendingLocked(err error) {
+	if st.pending != nil {
+		st.pending.err = err
+		close(st.pending.done)
+		st.pending = nil
+	}
+}
+
+// syncer is the store's background commit loop: wait for a kick,
+// optionally linger SyncMaxWait to let more batches join the round,
+// then flush + fsync once for everything pending. While the fsync runs
+// outside the mutex, new appends accumulate into the next round — that
+// overlap is the pipeline.
+func (st *Store) syncer() {
+	defer close(st.syncerDone)
+	for {
+		select {
+		case <-st.syncStop:
+			return
+		case <-st.kick:
+		}
+		if d := st.opt.SyncMaxWait; d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-st.syncStop:
+				// Close/Abandon resolve the pending round themselves
+				// (inline sync / failure); nothing left to cover here.
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		st.syncPendingRound()
+	}
+}
+
+// syncPendingRound detaches the pending round and completes it with one
+// flush + fsync. The fsync runs with st.mu released and st.syncing set;
+// inline syncs (rotation, snapshot, Close) wait that flag out under
+// st.syncCond before touching the file, so the segment handle cannot be
+// closed or rotated under the in-flight fsync.
+func (st *Store) syncPendingRound() {
+	st.mu.Lock()
+	r := st.pending
+	if r == nil {
+		st.mu.Unlock()
+		return
+	}
+	if st.dead || st.closed || st.f == nil {
+		// Close completed the round inline before we got here; Abandon
+		// failed it. Either way pending would be nil — reaching this
+		// branch with a live round means the segment is gone, so the
+		// round can only fail.
+		st.failPendingLocked(ErrAbandoned)
+		st.mu.Unlock()
+		return
+	}
+	st.pending = nil
+	if err := st.bw.Flush(); err != nil {
+		r.err = err
+		close(r.done)
+		st.mu.Unlock()
+		return
+	}
+	f := st.f
+	st.syncing = true
+	st.mu.Unlock()
+
+	err := st.runFsync(f)
+
+	st.mu.Lock()
+	st.syncing = false
+	st.syncCond.Broadcast()
+	r.err = err
+	close(r.done)
+	st.mu.Unlock()
+}
+
+// runFsync performs one segment fsync, through the shared executor when
+// one is configured.
+func (st *Store) runFsync(f *os.File) error {
+	if ex := st.opt.SyncExec; ex != nil {
+		return ex.do(f.Sync)
+	}
+	return f.Sync()
+}
+
+// waitSyncIdleLocked blocks until no background fsync is in flight.
+// Caller holds st.mu; the wait releases and reacquires it.
+func (st *Store) waitSyncIdleLocked() {
+	for st.syncing {
+		st.syncCond.Wait()
+	}
+}

@@ -135,7 +135,7 @@ func TestAppendBatchOnPreBatchDirectory(t *testing.T) {
 		{RecordID: 12, Type: "RAS", Time: 1136074601000, JobID: 0, Location: "R23-M1-NC-I:J18-U11", Entry: "link fault", Facility: raslog.LinkCard, Severity: raslog.Warning},
 		{RecordID: 13, Type: "RAS", Time: 1136074602000, JobID: 9, Location: "R00-M1-N8-C:J05-U11", Entry: "rts panic", Facility: raslog.Kernel, Severity: raslog.Fatal},
 	}
-	if _, err := st.AppendBatch(next, extra[:2]); err != nil {
+	if _, _, err := st.AppendBatch(next, extra[:2]); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := st.Append(next+2, extra[2]); err != nil {
@@ -173,24 +173,24 @@ func TestAppendBatchRoundTrip(t *testing.T) {
 	events := genFixtureEvents()
 	// Mixed shapes: batch of 3, empty batch (a no-op), single append,
 	// batch of 1, batch of the rest.
-	if _, err := st.AppendBatch(0, events[:3]); err != nil {
+	if _, _, err := st.AppendBatch(0, events[:3]); err != nil {
 		t.Fatal(err)
 	}
-	if n, err := st.AppendBatch(3, nil); err != nil || n != 0 {
+	if n, _, err := st.AppendBatch(3, nil); err != nil || n != 0 {
 		t.Fatalf("empty batch: n=%d err=%v, want 0, nil", n, err)
 	}
 	if _, err := st.Append(3, events[3]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.AppendBatch(4, events[4:5]); err != nil {
+	if _, _, err := st.AppendBatch(4, events[4:5]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.AppendBatch(5, events[5:]); err != nil {
+	if _, _, err := st.AppendBatch(5, events[5:]); err != nil {
 		t.Fatal(err)
 	}
 
 	// Sequence checking holds across batches too.
-	if _, err := st.AppendBatch(7, events[:2]); err == nil ||
+	if _, _, err := st.AppendBatch(7, events[:2]); err == nil ||
 		!strings.Contains(err.Error(), "out-of-order") {
 		t.Fatalf("out-of-order batch: err = %v, want out-of-order", err)
 	}
@@ -230,7 +230,7 @@ func TestAppendBatchRotatesSegments(t *testing.T) {
 	}
 	events := genFixtureEvents()
 	for i := 0; i < len(events); i += 2 {
-		if _, err := st.AppendBatch(uint64(i), events[i:i+2]); err != nil {
+		if _, _, err := st.AppendBatch(uint64(i), events[i:i+2]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -274,7 +274,7 @@ func TestAppendBatchAfterCloseFails(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.AppendBatch(0, genFixtureEvents()[:1]); !errors.Is(err, persist.ErrClosed) {
+	if _, _, err := st.AppendBatch(0, genFixtureEvents()[:1]); !errors.Is(err, persist.ErrClosed) {
 		t.Fatalf("AppendBatch after Close: err = %v, want ErrClosed", err)
 	}
 }

@@ -15,13 +15,17 @@
 // a plain lexical directory listing is also the logical order.
 //
 // Durability model: Append buffers; the buffer reaches the OS every
-// FlushEvery records and is fsynced at snapshot, rotation and Close. A
-// snapshot is written atomically (temp file + fsync + rename + directory
-// fsync) *after* syncing the WAL, so a snapshot at position S implies the
-// WAL is durable through S and recovery = load newest valid snapshot +
-// replay the WAL tail from S. A torn or corrupt frame marks where the
-// durable records of the final segment end — exactly what a crash
-// mid-write leaves behind.
+// FlushEvery records and is fsynced at snapshot, rotation and Close.
+// AppendBatch enqueues a group-committed frame and returns a commit
+// Ticket; a background syncer fsyncs once for every ticket that queued
+// behind the previous fsync (commit.go), so concurrent batches share a
+// flush and a ticket's Wait returning nil means its frames are on
+// stable storage. A snapshot is written atomically (temp file + fsync +
+// rename + directory fsync) *after* syncing the WAL, so a snapshot at
+// position S implies the WAL is durable through S and recovery = load
+// newest valid snapshot + replay the WAL tail from S. A torn or corrupt
+// frame marks where the durable records of the final segment end —
+// exactly what a crash mid-write leaves behind.
 package persist
 
 import (
@@ -56,6 +60,18 @@ type Options struct {
 	// segments from being pruned without a refresh (RetainFollower).
 	// Zero means 10 minutes.
 	FollowerTTL time.Duration
+	// SyncMaxWait is an optional coalescing delay for the asynchronous
+	// commit pipeline (commit.go): after being woken, the background
+	// syncer lingers this long so more AppendBatch tickets can join the
+	// round before the shared fsync. Zero syncs as soon as the syncer is
+	// free — the pipeline still coalesces everything that arrives while
+	// an fsync is in flight (self-clocking), so the knob only matters at
+	// low concurrency where extra latency buys a deeper group.
+	SyncMaxWait time.Duration
+	// SyncExec, when set, runs this store's background fsyncs under a
+	// shared concurrency bound (fleet mode: many tenant stores, one
+	// disk). Nil runs them directly.
+	SyncExec *SyncExecutor
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +111,19 @@ type Store struct {
 	scratch   []byte // frame encoding buffer, reused across Appends
 	payload   []byte // event encoding buffer, reused across Appends
 
+	// Asynchronous commit pipeline (commit.go). pending is the round the
+	// next background fsync will cover; syncing marks an fsync in flight
+	// with mu released, and syncCond (on mu) is broadcast when it lands
+	// so inline syncs can wait the flag out. The syncer goroutine starts
+	// lazily at StartAppend and exits via syncStop.
+	pending     *commitRound
+	syncing     bool
+	syncCond    *sync.Cond
+	kick        chan struct{}
+	syncStop    chan struct{}
+	syncStopped bool
+	syncerDone  chan struct{}
+
 	// Retention guard (segments.go): registered follower acks plus pins
 	// held by in-flight segment reads; pruneLocked keeps every segment
 	// holding records at or above the guard's floor.
@@ -111,6 +140,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
 	st := &Store{dir: dir, opt: opt.withDefaults()}
+	st.syncCond = sync.NewCond(&st.mu)
 	names, err := st.listNames()
 	if err != nil {
 		return nil, err
@@ -141,6 +171,7 @@ func (st *Store) StartAppend(seq uint64) error {
 	}
 	st.nextSeq = seq
 	st.appending = true
+	st.startSyncerLocked()
 	return nil
 }
 
@@ -188,33 +219,41 @@ func (st *Store) Append(seq uint64, e raslog.Event) (int, error) {
 
 // AppendBatch writes events as one group-committed WAL record occupying
 // sequences seq..seq+len(events)-1: the frame payload is the events'
-// encodings back to back, and a single flush + fsync makes the whole
-// batch durable at once — the per-batch durability cost is constant
-// where per-event Append pays it per record (given FlushEvery 1). A
-// one-event batch produces a byte-identical frame to Append, and Replay
-// decodes either shape, so batched and unbatched segments interleave
-// freely in one directory. Returns the bytes appended.
-func (st *Store) AppendBatch(seq uint64, events []raslog.Event) (int, error) {
+// encodings back to back, so the whole batch becomes durable with one
+// fsync — the per-batch durability cost is constant where per-event
+// Append pays it per record (given FlushEvery 1). The fsync itself is
+// asynchronous (commit.go): AppendBatch enqueues the frame, wakes the
+// background syncer, and returns a Ticket that resolves when the
+// covering fsync lands, so concurrent batches share one disk flush
+// instead of serializing behind each other's. Callers that need the old
+// synchronous behavior just Wait on the ticket.
+//
+// A one-event batch produces a byte-identical frame to Append, and
+// Replay decodes either shape, so batched and unbatched segments
+// interleave freely in one directory. Returns the bytes appended.
+func (st *Store) AppendBatch(seq uint64, events []raslog.Event) (int, Ticket, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.dead {
-		return 0, nil
+		// The dead store is a silent no-op, but the events were NOT made
+		// durable: the ticket must fail so no caller acks them.
+		return 0, FailedTicket(ErrAbandoned), nil
 	}
 	if st.closed {
-		return 0, ErrClosed
+		return 0, Ticket{}, ErrClosed
 	}
 	if !st.appending {
-		return 0, errors.New("persist: AppendBatch before StartAppend")
+		return 0, Ticket{}, errors.New("persist: AppendBatch before StartAppend")
 	}
 	if seq != st.nextSeq {
-		return 0, fmt.Errorf("persist: out-of-order append: seq %d, want %d", seq, st.nextSeq)
+		return 0, Ticket{}, fmt.Errorf("persist: out-of-order append: seq %d, want %d", seq, st.nextSeq)
 	}
 	if len(events) == 0 {
-		return 0, nil
+		return 0, Ticket{}, nil
 	}
 	if st.f == nil || st.segBytes >= st.opt.RotateBytes {
 		if err := st.rotateLocked(seq); err != nil {
-			return 0, err
+			return 0, Ticket{}, err
 		}
 	}
 	st.payload = st.payload[:0]
@@ -225,15 +264,23 @@ func (st *Store) AppendBatch(seq uint64, events []raslog.Event) (int, error) {
 	n, err := st.bw.Write(st.scratch)
 	st.segBytes += int64(n)
 	if err != nil {
-		return n, err
+		return n, FailedTicket(err), err
 	}
 	st.nextSeq += uint64(len(events))
-	st.unflushed = 0
-	// Group commit: one fsync covers every record in the batch.
-	if err := st.syncLocked(); err != nil {
-		return n, err
+	// Honor FlushEvery at append time even though the fsync is deferred:
+	// callers that do not Wait on the ticket (the non-acked single-event
+	// path) rely on the PR 4 contract that a record counted into the
+	// store survives a process kill once the write buffer reaches the OS.
+	// The background syncer flushes too, but only when its round runs —
+	// this keeps the flush horizon deterministic per the option.
+	st.unflushed += len(events)
+	if st.unflushed >= st.opt.FlushEvery {
+		st.unflushed = 0
+		if err := st.bw.Flush(); err != nil {
+			return n, FailedTicket(err), err
+		}
 	}
-	return n, nil
+	return n, st.enqueueCommitLocked(), nil
 }
 
 // rotateLocked syncs and closes the current segment (if any) and opens a
@@ -283,48 +330,84 @@ func (st *Store) Sync() error {
 	return st.syncLocked()
 }
 
+// syncLocked is the inline (synchronous) flush + fsync used by
+// rotation, snapshots, Sync and Close. It first waits out any fsync the
+// background syncer has in flight (the file handle must not be rotated
+// or closed under it), then completes the pending commit round — its
+// tickets are covered by this fsync exactly as they would have been by
+// the syncer's.
 func (st *Store) syncLocked() error {
-	if st.f == nil {
-		return nil
+	st.waitSyncIdleLocked()
+	r := st.pending
+	st.pending = nil
+	var err error
+	if st.f != nil {
+		if err = st.bw.Flush(); err == nil {
+			err = st.f.Sync()
+		}
 	}
-	if err := st.bw.Flush(); err != nil {
-		return err
+	if r != nil {
+		r.err = err
+		close(r.done)
 	}
-	return st.f.Sync()
+	return err
 }
 
 // Abandon simulates abrupt process death for crash tests: the write
 // buffer is discarded, the segment handle is closed without flushing,
 // and every later call on the store is a silent no-op. The directory is
-// left exactly as a real kill at this instant would leave it.
+// left exactly as a real kill at this instant would leave it. Tickets
+// still pending fail with ErrAbandoned — their fsync never happened, so
+// their waiters must not acknowledge; a round whose fsync was already
+// in flight resolves with that fsync's real outcome (just as a real
+// kill can land an instant after the data hit the disk).
 func (st *Store) Abandon() {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	st.dead = true
 	if st.f != nil {
 		_ = st.f.Close() // deliberately without flushing st.bw
 		st.f, st.bw = nil, nil
 	}
+	st.failPendingLocked(ErrAbandoned)
+	st.stopSyncerLocked()
+	done := st.syncerDone
+	st.mu.Unlock()
+	if done != nil {
+		<-done // syncer resolves any in-flight round before exiting
+	}
 }
 
-// Close makes the WAL durable and releases the store. Safe to call more
-// than once.
+// Close makes the WAL durable and releases the store. The inline sync
+// completes any pending commit round, so every outstanding ticket
+// resolves (successfully) before the segment handle goes away. Safe to
+// call more than once.
 func (st *Store) Close() error {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.dead || st.closed {
 		st.closed = true
+		st.stopSyncerLocked()
+		done := st.syncerDone
+		st.mu.Unlock()
+		if done != nil {
+			<-done
+		}
 		return nil
 	}
 	st.closed = true
-	if st.f == nil {
-		return nil
+	var err error
+	if st.f != nil {
+		err = st.syncLocked()
+		if cerr := st.f.Close(); err == nil {
+			err = cerr
+		}
+		st.f, st.bw = nil, nil
 	}
-	err := st.syncLocked()
-	if cerr := st.f.Close(); err == nil {
-		err = cerr
+	st.stopSyncerLocked()
+	done := st.syncerDone
+	st.mu.Unlock()
+	if done != nil {
+		<-done
 	}
-	st.f, st.bw = nil, nil
 	return err
 }
 

@@ -88,3 +88,60 @@ func TestPipelineSteadyStateAllocBudget(t *testing.T) {
 		t.Fatal(fmt.Sprintf("pipeline allocates %.2f times per event, budget 8", perEvent))
 	}
 }
+
+// TestDurableBatchAllocBudget pins the durable batch hot path: with the
+// asynchronous commit pipeline the ticket machinery costs a handful of
+// allocations per *batch* (the ack channel, the commit round and its
+// done channel, the caller's event slice) and nothing per event — the
+// WAL encoder, the group-commit frame scratch, and the bufio writer all
+// reuse their buffers. The budget of 1 alloc/event is ~100x the measured
+// steady state; it fails loudly if anyone reintroduces per-event frames,
+// per-event tickets, or boxing on the commit path.
+func TestDurableBatchAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is distorted by the race detector")
+	}
+	cfg := Defaults()
+	cfg.InitialTrain = 1 << 40 * time.Millisecond // never trains
+	cfg.Shards = 2
+	cfg.StateDir = t.TempDir()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	const batchSize = 512
+	const warm, measured = 20480, 20480 // multiples of batchSize
+	feed := func(lo, hi int) {
+		for i := lo; i < hi; i += batchSize {
+			evs := make([]raslog.Event, batchSize)
+			for j := range evs {
+				evs[j] = pipelineEvent(i + j)
+			}
+			if _, err := s.IngestBatch(ctx, evs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	settle := func(n int64) {
+		waitFor(t, 10*time.Second, func() bool { return s.m.sequenced.Value() >= n })
+	}
+	feed(0, warm)
+	settle(warm - 100)
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	feed(warm, warm+measured)
+	settle(warm + measured - 100)
+	runtime.GC()
+	runtime.ReadMemStats(&ms1)
+
+	perEvent := float64(ms1.Mallocs-ms0.Mallocs) / measured
+	t.Logf("durable batch path: %.3f allocs/event", perEvent)
+	if perEvent > 1 {
+		t.Fatal(fmt.Sprintf("durable batch path allocates %.3f times per event, budget 1", perEvent))
+	}
+}

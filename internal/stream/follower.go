@@ -17,6 +17,7 @@ package stream
 // to a clean prefix and re-requests from its durable end.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -315,7 +316,15 @@ func (s *Service) applyReplicated(events []raslog.Event) error {
 	if len(events) == 0 {
 		return nil
 	}
-	if _, err := s.store.AppendBatch(s.next, events); err != nil {
+	_, ticket, err := s.store.AppendBatch(s.next, events)
+	if err != nil {
+		return err
+	}
+	// The replica's ack to the leader (?acked= on the next poll) promises
+	// it can replay these records after a crash, so wait out the commit
+	// pipeline's fsync before applying — the follower has no client to
+	// overlap with, and the poll cadence dwarfs one disk flush.
+	if err := ticket.Wait(context.Background()); err != nil {
 		return err
 	}
 	s.mu.Lock()

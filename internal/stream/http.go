@@ -104,6 +104,11 @@ func ingestStatus(w http.ResponseWriter, err error) int {
 		// over the retry lands.
 		w.Header().Set("Retry-After", "1")
 		return http.StatusServiceUnavailable
+	case errors.Is(err, errCommit):
+		// Admitted but the covering WAL commit failed or was torn down:
+		// nothing was acknowledged, so the client re-sends from Line
+		// (at-least-once), same 503 resume contract as a restart.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrClosed), errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable

@@ -46,6 +46,8 @@ func (s *Service) recover() error {
 	store, err := persist.Open(s.cfg.StateDir, persist.Options{
 		RotateBytes: s.cfg.WALRotateBytes,
 		FlushEvery:  s.cfg.WALFlushEvery,
+		SyncMaxWait: s.cfg.SyncMaxWait,
+		SyncExec:    s.cfg.WALSyncExec,
 	})
 	if err != nil {
 		return err

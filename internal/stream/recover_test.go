@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -341,6 +342,123 @@ func TestRecoveryRejectsWALGap(t *testing.T) {
 	}
 	if _, err := New(durableConfig(dir)); err == nil {
 		t.Fatal("New over a WAL with a missing segment succeeded")
+	}
+}
+
+// TestCrashMidCoalesceDurability kills the store at an arbitrary point
+// between commit enqueue and fsync while a client drives durable batch
+// ingest through the asynchronous commit pipeline. The contract under
+// test is ack-implies-durable: every batch whose IngestBatch returned
+// nil must have its released events on disk after recovery, and recovery
+// must never replay events that were never submitted. SyncMaxWait is
+// nonzero so the kill reliably lands inside an open coalescing round.
+func TestCrashMidCoalesceDurability(t *testing.T) {
+	const batchSize = 8
+	for _, ackTarget := range []int{1, 4, 9} {
+		t.Run(fmt.Sprintf("ackTarget=%d", ackTarget), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := durableConfig(dir)
+			// Events are 1 s apart, so a 10 ms tolerance retains exactly the
+			// newest event: an acked batch k has released (k+1)*batchSize - 1
+			// events, and each of those must survive the crash.
+			cfg.ReorderWindow = 10 * time.Millisecond
+			cfg.SyncMaxWait = 2 * time.Millisecond
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			type feed struct{ attempts, acked int }
+			done := make(chan feed, 1)
+			go func() {
+				var f feed
+				for {
+					evs := make([]raslog.Event, batchSize)
+					for j := range evs {
+						evs[j] = pipelineEvent(f.attempts*batchSize + j)
+					}
+					f.attempts++
+					if _, err := s.IngestBatch(context.Background(), evs); err != nil {
+						done <- f
+						return
+					}
+					f.acked++
+				}
+			}()
+			// The sequenced counter moves only after the commit ticket was
+			// handed back, so by here at least ackTarget rounds have opened;
+			// the kill races the fsync of whichever round is in flight.
+			waitFor(t, 30*time.Second, func() bool {
+				return s.m.sequenced.Value() >= int64(ackTarget*batchSize)
+			})
+			s.crash()
+			f := <-done
+
+			second, err := New(durableConfig(dir))
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			defer second.Close()
+			rec := second.Recovery()
+			if f.acked > 0 {
+				if min := uint64(f.acked*batchSize - 1); rec.ResumeSeq < min {
+					t.Fatalf("recovered to seq %d; %d acked batches require at least %d durable events — an acked batch was lost",
+						rec.ResumeSeq, f.acked, min)
+				}
+			}
+			if max := uint64(f.attempts * batchSize); rec.ResumeSeq > max {
+				t.Fatalf("recovered to seq %d but only %d events were ever submitted — replay fabricated events",
+					rec.ResumeSeq, max)
+			}
+		})
+	}
+}
+
+// TestCrashMidCoalesceNeverFalseAcks pins the other direction: a batch
+// that was sequenced and staged in the WAL but whose round never reached
+// an fsync (SyncMaxWait parks the syncer for a minute) must NOT be
+// acknowledged when the process dies mid-coalesce. The waiter gets a
+// commit error — the client re-sends, at-least-once — and recovery over
+// the same directory still comes up clean.
+func TestCrashMidCoalesceNeverFalseAcks(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	cfg.ReorderWindow = 10 * time.Millisecond
+	cfg.SyncMaxWait = time.Minute // the fsync cannot win the race
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 64
+	evs := make([]raslog.Event, n)
+	for i := range evs {
+		evs[i] = pipelineEvent(i)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.IngestBatch(context.Background(), evs)
+		errc <- err
+	}()
+	// Sequenced moves only after the commit round was enqueued: the batch
+	// is now exactly in the enqueue→fsync window the test targets.
+	waitFor(t, 30*time.Second, func() bool { return s.m.sequenced.Value() >= n-1 })
+	s.crash()
+	err = <-errc
+	if err == nil {
+		t.Fatal("IngestBatch acked a batch whose commit round never reached an fsync")
+	}
+	if !errors.Is(err, errCommit) {
+		t.Fatalf("mid-coalesce kill returned %v, want errCommit (the 503/re-send class)", err)
+	}
+
+	second, err := New(durableConfig(dir))
+	if err != nil {
+		t.Fatalf("recovery after mid-coalesce kill failed: %v", err)
+	}
+	defer second.Close()
+	if rec := second.Recovery(); rec.ResumeSeq > n {
+		t.Fatalf("recovered %d events from a feed of %d", rec.ResumeSeq, n)
 	}
 }
 

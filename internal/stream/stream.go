@@ -61,6 +61,13 @@ var ErrClosed = errors.New("stream: service closed")
 // Retry-After header. Errors arrive wrapped — test with errors.Is.
 var ErrSaturated = errors.New("stream: pipeline saturated")
 
+// errCommit marks a batch that was admitted and sequenced but whose WAL
+// commit failed or could not be confirmed (write error, fsync error,
+// store torn down mid-coalesce). The events were NOT acknowledged as
+// durable; the HTTP layer maps it to 503 and the client re-sends under
+// the resume contract — the at-least-once side of ack-implies-durable.
+var errCommit = errors.New("stream: durable commit failed")
+
 // ErrStandby is returned by Ingest/IngestBatch/TrainNow on a standby
 // service (Config.Standby): a follower takes its events from the leader's
 // WAL, never from clients — accepting direct ingest would fork the
@@ -145,6 +152,16 @@ type Config struct {
 	WALFlushEvery int
 	// WALRotateBytes is the WAL segment rotation size. Zero means 8 MiB.
 	WALRotateBytes int64
+	// SyncMaxWait is the WAL commit pipeline's coalescing delay
+	// (persist.Options.SyncMaxWait): how long the background syncer may
+	// linger after a batch lands so more batches join the shared fsync.
+	// Zero syncs as soon as the disk is free; coalescing still happens
+	// whenever an fsync is already in flight.
+	SyncMaxWait time.Duration
+	// WALSyncExec, when set, bounds this service's background WAL fsyncs
+	// under an executor shared with other services (fleet mode: many
+	// tenant stores on one disk). Nil runs fsyncs directly.
+	WALSyncExec *persist.SyncExecutor
 	// SyncRetrain runs (re)training inline on the collector goroutine
 	// instead of in the background. Ingestion stalls for the duration of
 	// a pass, but the predictor swap then lands at a deterministic stream
@@ -468,12 +485,18 @@ func (s *Service) admit(ctx context.Context, msg ingestMsg) error {
 }
 
 // IngestBatch feeds events as one unit: the batch enters the reorder
-// buffer together, and everything it releases is made durable with a
-// single WAL frame and a single fsync (group commit) before any of it is
-// forwarded downstream. The service takes ownership of the slice; the
-// caller must not reuse it. Returns how many events were accepted — the
-// whole batch, or zero when the service is closed, ctx expires, or the
-// pipeline stays saturated past Config.AdmitWait (ErrSaturated).
+// buffer together, and everything it releases commits to the WAL as a
+// single frame whose fsync is shared with every other batch in flight
+// (cross-request group commit, DESIGN.md §15). With durable state on,
+// the call returns only after that covering fsync lands — a nil error
+// is an ack-implies-durable receipt for the batch's released events;
+// events the reorder buffer retained (inside the tolerance window) stay
+// in the accepted-but-buffered class exactly as before. The service
+// takes ownership of the slice; the caller must not reuse it. Returns
+// how many events were accepted — the whole batch, or zero when the
+// service is closed, ctx expires, the pipeline stays saturated past
+// Config.AdmitWait (ErrSaturated), or the commit could not be confirmed
+// (errCommit → HTTP 503; the client re-sends, at-least-once).
 func (s *Service) IngestBatch(ctx context.Context, events []raslog.Event) (int, error) {
 	if len(events) == 0 {
 		return 0, nil
@@ -486,10 +509,35 @@ func (s *Service) IngestBatch(ctx context.Context, events []raslog.Event) (int, 
 	if s.standby.Load() {
 		return 0, ErrStandby
 	}
-	if err := s.admit(ctx, ingestMsg{batch: events}); err != nil {
+	msg := ingestMsg{batch: events}
+	if s.store != nil {
+		// One small allocation per batch (not per event): the ack channel
+		// the sequencer hands the commit ticket back on. The store-less
+		// path stays allocation-free (BenchmarkIngestBatch).
+		msg.ack = make(chan persist.Ticket, 1)
+	}
+	if err := s.admit(ctx, msg); err != nil {
 		return 0, err
 	}
 	s.m.ingested.Add(int64(len(events)))
+	if msg.ack == nil {
+		return len(events), nil
+	}
+	// The batch is admitted and will be sequenced; we only decide what to
+	// tell the caller. Sequencing of later batches overlaps this wait —
+	// the pipeline, not the request, owns the fsync.
+	var t persist.Ticket
+	select {
+	case t = <-msg.ack:
+	case <-ctx.Done():
+		return 0, fmt.Errorf("stream: batch admitted but commit unconfirmed: %w", ctx.Err())
+	}
+	if err := t.Wait(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return 0, fmt.Errorf("stream: batch admitted but commit unconfirmed: %w", err)
+		}
+		return 0, fmt.Errorf("%w: %v", errCommit, err)
+	}
 	return len(events), nil
 }
 
@@ -526,12 +574,16 @@ func (s *Service) Close() error {
 // ---------------------------------------------------------------------------
 
 // ingestMsg travels Ingest/IngestBatch → sequencer. Exactly one of the
-// two fields is meaningful: batch == nil is the single-event form. A
+// event fields is meaningful: batch == nil is the single-event form. A
 // batch is sequenced as one unit, so everything it releases shares one
-// WAL group commit.
+// WAL group commit. ack, when non-nil (durable batch ingest), receives
+// exactly one commit ticket once the batch has been sequenced: the
+// ticket covers the events the batch released from the reorder buffer,
+// and IngestBatch holds the caller's 200 until it resolves.
 type ingestMsg struct {
 	e     raslog.Event
 	batch []raslog.Event
+	ack   chan persist.Ticket
 }
 
 type heapEntry struct {
@@ -627,32 +679,47 @@ func (s *Service) sequencer() {
 		seq++
 	}
 
-	// flush commits the staged releases — a burst takes one WAL frame and
-	// one fsync no matter its size (group commit), a burst of one takes
-	// the buffered single-record path — then forwards them to the shards.
-	// WAL-before-processing holds as before: no sequence number becomes
-	// visible downstream until its event is in the log.
-	flush := func() {
+	// flush commits the staged releases — a burst takes one WAL frame no
+	// matter its size (group commit), a burst of one from the non-acked
+	// single-event path takes the buffered single-record path — then
+	// forwards them to the shards. The frame is appended (enqueued in the
+	// commit pipeline) before anything is forwarded: WAL-before-processing
+	// holds as before. The fsync itself is asynchronous; the sequencer
+	// hands the commit ticket back through ack (when the msg wants a
+	// durable receipt) and moves straight on to the next batch, so
+	// parse/sequence of the next request overlaps the in-flight fsync.
+	// Forwarding ahead of the fsync is safe: a snapshot syncs the WAL
+	// before it is written, so no durable state can ever claim a sequence
+	// the log might still lose.
+	flush := func(ack chan persist.Ticket) {
 		if len(release) == 0 {
+			if ack != nil {
+				ack <- persist.Ticket{} // nothing released → nothing to await
+			}
 			return
 		}
+		var t persist.Ticket
 		if s.store != nil {
 			var n int
 			var err error
-			if len(release) == 1 {
+			if len(release) == 1 && ack == nil {
 				n, err = s.store.Append(release[0].seq, release[0].e)
 			} else {
 				walBatch = walBatch[:0]
 				for i := range release {
 					walBatch = append(walBatch, release[i].e)
 				}
-				n, err = s.store.AppendBatch(release[0].seq, walBatch)
+				n, t, err = s.store.AppendBatch(release[0].seq, walBatch)
 			}
 			if err != nil {
 				s.m.walErrors.Inc()
+				t = persist.FailedTicket(err)
 			} else {
 				s.m.walBytes.Add(int64(n))
 			}
+		}
+		if ack != nil {
+			ack <- t // buffered: never blocks the sequencer
 		}
 		for i := range release {
 			s.m.sequenced.Inc()
@@ -683,7 +750,7 @@ func (s *Service) sequencer() {
 			overflow := buf.len() > s.cfg.ReorderLimit && buf.buf[0].e.Time > maxSeen-tolMs
 			emit(buf.pop().e, overflow)
 		}
-		flush()
+		flush(msg.ack)
 		s.m.reorderDepth.Set(float64(buf.len()))
 		s.m.seqLatency.Since(t0)
 	}
@@ -691,7 +758,7 @@ func (s *Service) sequencer() {
 	for buf.len() > 0 {
 		emit(buf.pop().e, false)
 	}
-	flush()
+	flush(nil)
 	s.m.reorderDepth.Set(0)
 	for _, ch := range s.shardChs {
 		close(ch)

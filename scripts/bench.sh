@@ -13,10 +13,19 @@
 #
 # A second phase runs the closed-loop capacity sweep: cmd/loadgen
 # replays a bgsim feed at stepped offered rates (plus a 2x overdrive
-# step) against a freshly started cmd/serve and writes the capacity
-# curve — per-step p50/p99 and the highest achieved rate that met the
-# p99 target — to BENCH_8.json. The defaults are a short smoke sweep;
-# raise RATES/STEP_DURATION for steadier numbers.
+# step, auto-extending until the p99 target is actually breached)
+# against a freshly started durable cmd/serve (-state-dir, so every ack
+# is backed by a group-committed fsync) with CONNECTIONS batches in
+# flight — after a short warmup run that absorbs the one-time initial
+# batch training pass — and writes the capacity curve — per-step p50/p99 and the
+# highest achieved rate that met the p99 target, with knee_found
+# asserting the verdict is a real knee — to BENCH_10.json. The daemon
+# runs with an out-of-order tolerance scaled to the sweep's time
+# compression, since concurrent in-flight batches arrive interleaved in
+# wall time but carry compressed stream timestamps. After the sweep a
+# short rerun at the measured capacity rate captures a CPU profile via
+# -pprof into results/cpu_capacity.pprof. The defaults are a short
+# smoke sweep; raise RATES/STEP_DURATION for steadier numbers.
 #
 # A third phase measures the hot-standby story (BENCH_9.json): a
 # follower tails a loaded leader while the standby lag gauge is sampled
@@ -31,7 +40,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_7.json}"
-CAP_OUT="${2:-BENCH_8.json}"
+CAP_OUT="${2:-BENCH_10.json}"
 STANDBY_OUT="${3:-BENCH_9.json}"
 TMP="$(mktemp)"
 BIN="$(mktemp -d)"
@@ -126,16 +135,34 @@ END {
 echo "== wrote $OUT"
 
 # --- capacity sweep: closed-loop load harness against a live daemon ------
-RATES="${RATES:-1000,2000,4000,8000}"
+RATES="${RATES:-4000,8000,16000,32000,48000,64000}"
 STEP_DURATION="${STEP_DURATION:-2s}"
+CONNECTIONS="${CONNECTIONS:-8}"
+# Feed density: at the historical 0.02 scale a stream-week is ~180
+# events, so -retrain 1 fires hundreds of retrains per wall-second
+# under compression — a measurement artifact, not a workload. At scale
+# 1 a stream-week is ~8k events, putting retrain cadence at a few per
+# second at the sweep's rates: still exercised (and priced) in-band,
+# no longer the dominant term.
+FEED_SCALE="${FEED_SCALE:-1}"
 PORT="${LOADGEN_PORT:-18911}"
-echo "== capacity sweep (rates $RATES, $STEP_DURATION per step)"
+# Stream-time out-of-order tolerance for the daemon. With -connections
+# batches in flight, milliseconds of wall-clock arrival skew map to
+# enormous stream-time skew at the sweep's 10^6-10^8x time compression;
+# the tolerance must absorb it or cross-batch interleaving shows up as
+# bogus late drops. 2e9 seconds (~63 years of stream time) keeps the
+# reorder buffer the sole ordering authority — its size cap (default
+# 4096, above connections x batch) still bounds memory and releases.
+REORDER="${REORDER:-2000000000}"
+echo "== capacity sweep (rates $RATES, $STEP_DURATION per step, $CONNECTIONS connections, durable)"
 go build -o "$BIN/serve" ./cmd/serve
 go build -o "$BIN/loadgen" ./cmd/loadgen
 # Training windows sized so the compressed replay actually retrains and
 # emits warnings — the sweep measures warning-emission lag, not just
-# ingest latency.
+# ingest latency. -state-dir makes every 200 a group-committed fsync:
+# this is the durable capacity, not the in-memory one BENCH_8 measured.
 "$BIN/serve" -addr "127.0.0.1:$PORT" -train 2 -retrain 1 -admit-wait 500ms \
+    -state-dir "$BIN/capstate" -reorder "$REORDER" -pprof \
     > "$BIN/serve.log" 2>&1 &
 SERVE_PID=$!
 i=0
@@ -148,9 +175,35 @@ until curl -fsS "http://127.0.0.1:$PORT/healthz" > /dev/null 2>&1; do
     fi
     sleep 0.1
 done
+# Warmup: carry the daemon past its one-time initial batch training
+# pass (a deploy cost, not capacity — it would otherwise land as a
+# ~200ms pause inside whichever measured step trips it). Steady-state
+# incremental retrains still fire inside the measured sweep and are
+# priced into every step's latency.
+"$BIN/loadgen" -addr "http://127.0.0.1:$PORT" -rates 8000 -step-duration 3s \
+    -connections "$CONNECTIONS" -batch 256 -weeks 2 -scale "$FEED_SCALE" \
+    -allow-open-ended -out "$BIN/warmup.json" > "$BIN/warmup.log" 2>&1
 "$BIN/loadgen" -addr "http://127.0.0.1:$PORT" -rates "$RATES" -overdrive \
-    -step-duration "$STEP_DURATION" -batch 256 -weeks 2 -scale 0.02 \
+    -auto-extend -connections "$CONNECTIONS" \
+    -step-duration "$STEP_DURATION" -batch 256 -weeks 2 -scale "$FEED_SCALE" \
     -p99-target 50ms -out "$CAP_OUT"
+# CPU profile at the knee: rerun the measured capacity rate alone while
+# net/http/pprof samples the daemon — the profile of the peak step, not
+# of the whole ramp.
+CAP_RATE=$(grep -o '"capacity_events_per_sec": *[0-9.]*' "$CAP_OUT" | grep -o '[0-9.]*$' | cut -d. -f1)
+if [ "${CAP_RATE:-0}" -gt 0 ]; then
+    mkdir -p results
+    PROF_SEC="${PROF_SEC:-3}"
+    curl -fsS "http://127.0.0.1:$PORT/debug/pprof/profile?seconds=$PROF_SEC" \
+        -o results/cpu_capacity.pprof &
+    PROF_PID=$!
+    "$BIN/loadgen" -addr "http://127.0.0.1:$PORT" -rates "$CAP_RATE" \
+        -connections "$CONNECTIONS" -step-duration "$((PROF_SEC + 2))s" \
+        -batch 256 -weeks 2 -scale "$FEED_SCALE" -allow-open-ended \
+        -out "$BIN/profile-sweep.json" > "$BIN/profile-loadgen.log" 2>&1 || true
+    wait "$PROF_PID" || echo "bench.sh: WARN: profile capture failed" >&2
+    [ -s results/cpu_capacity.pprof ] && echo "== wrote results/cpu_capacity.pprof (peak step, ${PROF_SEC}s)"
+fi
 kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
@@ -190,7 +243,8 @@ wait_healthy "$FADDR" "$BIN/follower.log"
 # Drive the leader at one steady rate while sampling the follower's lag
 # gauge — the steady-state replication lag under load.
 "$BIN/loadgen" -addr "$LADDR" -rates "$STANDBY_RATE" -step-duration 6s \
-    -batch 256 -weeks 2 -scale 0.02 -out "$BIN/standby-sweep.json" \
+    -batch 256 -weeks 2 -scale 0.02 -allow-open-ended \
+    -out "$BIN/standby-sweep.json" \
     > "$BIN/standby-loadgen.log" 2>&1 &
 LG_PID=$!
 : > "$BIN/lag.samples"

@@ -19,6 +19,11 @@
 # of what the daemon acknowledged — the crash-safety contract of the
 # load harness itself.
 #
+# A group-commit phase repeats the mid-sweep kill with eight concurrent
+# loadgen connections and asserts the recovered count covers the ledger
+# with ZERO slack: on the batch path an HTTP 200 is released only after
+# the covering group fsync, so no acked event may be missing.
+#
 # A fourth phase repeats the exercise in fleet mode: two tenants fed
 # through one -fleet daemon, killed -9, restarted (both recover from
 # <state>/tenants/<id>/), then shut down gracefully (SIGTERM must close
@@ -225,7 +230,7 @@ echo "smoke_restart: ledger phase — kill -9 mid capacity sweep"
 go build -o "$TMP/loadgen" ./cmd/loadgen
 start_serve -state-dir "$TMP/sweep"
 "$TMP/loadgen" -addr "$ADDR" -rates 500,1000,2000,4000 -step-duration 2s \
-    -batch 128 -weeks 2 -scale 0.02 -out "$TMP/sweep.json" \
+    -batch 128 -weeks 2 -scale 0.02 -allow-open-ended -out "$TMP/sweep.json" \
     -ledger "$TMP/ledger.json" > "$TMP/loadgen.log" 2>&1 &
 LG_PID=$!
 i=0
@@ -260,6 +265,65 @@ if [ "$RECOVERED" -lt "$FLOOR" ]; then
     exit 1
 fi
 echo "smoke_restart: ledger OK (recovered $RECOVERED, ledger sequenced $LEDGER_SEQ)"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+# --- Group-commit phase: concurrent connections, ack-implies-durable -----
+
+echo "smoke_restart: group-commit phase — kill -9 mid-sweep at -connections 8"
+# Eight connections interleave batch ranges at the wire, so the daemon
+# needs a reorder tolerance matched to the feed's time compression
+# (milliseconds of wall-clock skew between connections are ~10^6-10^8
+# seconds of stream time at these rates).
+start_serve -state-dir "$TMP/gc" -reorder 2000000000
+# The first step must push well past the reorder buffer's size cap
+# (default 4096) before its ledger write, or the recorded sequenced
+# count is zero and the floor assertion below proves nothing — with the
+# huge tolerance the cap is the only release mechanism.
+"$TMP/loadgen" -addr "$ADDR" -rates 8000,16000,32000,64000 -step-duration 2s \
+    -batch 256 -connections 8 -weeks 2 -scale 0.02 -allow-open-ended \
+    -out "$TMP/gc-sweep.json" -ledger "$TMP/gc-ledger.json" \
+    > "$TMP/gc-loadgen.log" 2>&1 &
+LG_PID=$!
+i=0
+until [ -f "$TMP/gc-ledger.json" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "smoke_restart: FAIL: loadgen never completed a sweep step (group-commit phase)" >&2
+        cat "$TMP/gc-loadgen.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+sleep 0.7 # land the kill inside the next step — genuinely mid-sweep
+echo "smoke_restart: kill -9 $SERVE_PID (mid-sweep, 8 connections)"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+kill -9 "$LG_PID" 2>/dev/null || true
+wait "$LG_PID" 2>/dev/null || true
+
+LEDGER_SEQ=$(grep -o '"sequenced": *[0-9]*' "$TMP/gc-ledger.json" | grep -o '[0-9]*$')
+if [ "${LEDGER_SEQ:-0}" -le 0 ]; then
+    echo "smoke_restart: FAIL: group-commit ledger recorded sequenced=0 — assertion vacuous, raise the sweep rates" >&2
+    cat "$TMP/gc-loadgen.log" >&2
+    exit 1
+fi
+start_serve -state-dir "$TMP/gc" -reorder 2000000000
+RECOVERED=$(stat_field ingested)
+# The ledger records sequenced counts read from a drained pipeline at a
+# step boundary, and on the batch path every sequenced event belongs to
+# a batch whose HTTP 200 was released only after the covering group
+# fsync. Recovery must therefore cover the ledger EXACTLY — no
+# in-memory-tail slack like the single-event phase above. This is the
+# end-to-end ack-implies-durable assertion for the commit pipeline.
+if [ "$RECOVERED" -lt "$LEDGER_SEQ" ]; then
+    echo "smoke_restart: FAIL: recovered $RECOVERED < ledger sequenced $LEDGER_SEQ — an acked batch was lost" >&2
+    cat "$TMP/gc-loadgen.log" >&2
+    exit 1
+fi
+echo "smoke_restart: group-commit OK (recovered $RECOVERED >= ledger sequenced $LEDGER_SEQ, zero slack)"
 kill -9 "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
@@ -362,7 +426,8 @@ if [ "$STANDBY_CODE" != "503" ]; then
 fi
 
 "$TMP/loadgen" -addr "$ADDR" -rates 500,1000,2000,4000 -step-duration 2s \
-    -batch 128 -weeks 2 -scale 0.02 -out "$TMP/failover-sweep.json" \
+    -batch 128 -weeks 2 -scale 0.02 -allow-open-ended \
+    -out "$TMP/failover-sweep.json" \
     -ledger "$TMP/failover-ledger.json" > "$TMP/failover-loadgen.log" 2>&1 &
 LG_PID=$!
 i=0

@@ -17,6 +17,24 @@ echo "== allocation budgets (-count=1)"
 # fleet-routed path (multi-tenancy must add no per-event cost).
 go test -count=1 -run 'AllocBudget' \
     ./internal/raslog ./internal/preprocess ./internal/predictor ./internal/stream ./internal/fleet
+echo "== ingest hot path stays allocation-free (BenchmarkIngestBatch)"
+# The batch ingest path must stay at 0 allocs/event with the commit
+# ticket threaded through it — the ticket, ack channel, and commit round
+# are per batch, amortized to nothing per event. awk fails the gate if
+# the benchmark reports any per-event allocation.
+go test -run '^$' -bench 'BenchmarkIngestBatch$' -benchtime 20000x -benchmem . |
+    awk '/^BenchmarkIngestBatch/ { print; seen = 1; if ($(NF-1) != "0") bad = 1 }
+         END { if (!seen) { print "FAIL: BenchmarkIngestBatch did not run"; exit 1 }
+               if (bad) { print "FAIL: BenchmarkIngestBatch allocates per event"; exit 1 } }'
+echo "== group-commit gate (-race -count=1)"
+# The asynchronous commit pipeline re-proven fresh every run: ticket
+# resolution and coalescing (one fsync covers many tickets), abandon and
+# close semantics, the fleet-shared sync executor, rotation under
+# pending tickets, batch ≡ sequential ingest equivalence, and the
+# crash-mid-coalesce pins (no acked batch lost, no false acks).
+go test -race -count=1 \
+    -run 'Ticket|Coalesce|SharedSyncExecutor|RotationPreserves|IngestBatch|DurableBatch' \
+    ./internal/persist ./internal/stream
 echo "== incremental-retraining equivalence gate (-race -count=1)"
 # The incremental ≡ batch property re-proven fresh on every run: the
 # sufficient-statistics maintainer (random streams × random slides, the
